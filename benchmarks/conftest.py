@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks reproduce every table and figure of the paper at the ``fast``
+profile scale (reduced-width VGG9 on the synthetic CIFAR-like task, see
+DESIGN.md).  Pre-training is done once per profile and cached both in-process
+and on disk (``.repro_cache/``), so the expensive stage is shared by all
+benchmark files.
+
+Every benchmark prints the reproduced rows next to the paper's reported
+values (straight to the terminal, bypassing capture) and also writes them to
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_profile, get_pretrained_bundle
+from repro.utils.seed import seed_everything
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: Profile used by the benchmark harness (override with REPRO_PROFILE).
+PROFILE_NAME = os.environ.get("REPRO_PROFILE", "fast")
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile all benchmarks run at."""
+    return get_profile(PROFILE_NAME)
+
+
+@pytest.fixture(scope="session")
+def bundle(profile):
+    """Shared pre-trained model + loaders (pre-trains once, cached on disk)."""
+    seed_everything(profile.seed)
+    return get_pretrained_bundle(profile)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where benchmark reports are written."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit_report(capsys, results_dir: str, name: str, text: str) -> None:
+    """Print a reproduction report to the terminal and persist it to disk."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    with capsys.disabled():
+        print(banner)
+    with open(os.path.join(results_dir, f"{name}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,30 @@
+"""repro — reproduction of "Gradient-based Bit Encoding Optimization for
+Noise-Robust Binary Memristive Crossbar" (DATE 2022).
+
+The package is organised bottom-up:
+
+* :mod:`repro.tensor`, :mod:`repro.nn`, :mod:`repro.optim`, :mod:`repro.data`
+  — a from-scratch numpy deep-learning substrate (autograd, layers,
+  optimisers, data pipeline);
+* :mod:`repro.quant` — binary weights and multi-level activations;
+* :mod:`repro.crossbar` — the binary memristive crossbar simulator with
+  input bit encodings and analog noise models;
+* :mod:`repro.core` — the paper's contribution: PLA, encoded crossbar
+  layers, GBO and the NIA baseline;
+* :mod:`repro.models`, :mod:`repro.training`, :mod:`repro.experiments` —
+  the VGG9 evaluation network, training recipes and the per-table/figure
+  experiment drivers.
+
+Quick start::
+
+    from repro.data import make_synthetic_cifar, DataLoader
+    from repro.models import CrossbarMLP
+    from repro.training import pretrain_model, PretrainConfig, noisy_accuracy
+    from repro.core import GBOTrainer, GBOConfig
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

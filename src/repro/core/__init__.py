@@ -1,0 +1,58 @@
+"""The paper's primary contribution: gradient-based bit-encoding optimisation.
+
+Modules
+-------
+``search_space``
+    The set of pulse scaling factors Omega over which GBO searches.
+``pla``
+    Pulse Length Approximation (Section III-B): re-encode 9-level
+    activations with an arbitrary pulse count, rounding towards +-1.
+``encoder_layer``
+    ``EncodedConv2d`` / ``EncodedLinear``: binary-weight layers whose input
+    is pulse-encoded and whose output carries the crossbar read noise of
+    Eq. 4; they support clean, noisy and GBO-training forward modes.
+``gbo``
+    The GBO trainer (Section III-A): learns per-layer logits over Omega with
+    the accuracy + latency objective of Eq. 6 and selects the argmax
+    encoding at inference.
+``nia``
+    Noise-Injection Adaptation [He et al., 2019] re-implemented as the
+    noise-aware-training baseline of Table II.
+``noise_sensitivity``
+    Layer-wise noise-sensitivity analysis behind Fig. 2.
+``schedule``
+    Per-layer pulse schedules (the "# pulses in each layer" rows of Table I).
+"""
+
+from repro.core.search_space import PulseScalingSpace
+from repro.core.pla import (
+    PulseLengthApproximation,
+    pla_approximate,
+    pla_approximation_error,
+)
+from repro.core.encoder_layer import EncodedConv2d, EncodedLinear, EncodedLayerMixin
+from repro.core.schedule import PulseSchedule
+from repro.core.gbo import GBOConfig, GBOTrainer, GBOResult, apply_schedule
+from repro.core.nia import NIAConfig, NIATrainer
+from repro.core.noise_sensitivity import layer_noise_sensitivity
+from repro.core.heuristic import HeuristicResult, sensitivity_guided_schedule
+
+__all__ = [
+    "PulseScalingSpace",
+    "PulseLengthApproximation",
+    "pla_approximate",
+    "pla_approximation_error",
+    "EncodedConv2d",
+    "EncodedLinear",
+    "EncodedLayerMixin",
+    "PulseSchedule",
+    "GBOConfig",
+    "GBOTrainer",
+    "GBOResult",
+    "NIAConfig",
+    "NIATrainer",
+    "apply_schedule",
+    "layer_noise_sensitivity",
+    "HeuristicResult",
+    "sensitivity_guided_schedule",
+]

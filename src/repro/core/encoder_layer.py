@@ -1,0 +1,327 @@
+"""Crossbar-mapped layers with pulse-encoded inputs (paper Eq. 4 / Eq. 5).
+
+``EncodedConv2d`` and ``EncodedLinear`` are binary-weight layers whose input
+activation is quantised, thermometer/PLA encoded and driven through a noisy
+crossbar.  They support three forward modes:
+
+``clean``
+    No crossbar noise; used for pre-training and for the "without noise"
+    accuracy the paper quotes (90.80%).
+``noisy``
+    Inference on the crossbar: the layer's configured pulse count determines
+    both the PLA re-encoding of the input and the effective noise variance
+    ``sigma^2 / n`` (Eq. 4).  The fast *folded* path adds a single Gaussian
+    with the accumulated variance — statistically identical to simulating
+    every pulse (verified in the tests); the *simulate* path drives every
+    pulse through a :class:`~repro.crossbar.tiling.TiledCrossbar`.
+``gbo``
+    Training mode of Section III-A: the layer mixes the noise of every
+    candidate pulse length with the softmax weights ``alpha_k`` derived from
+    its learnable logits ``lambda_k`` (Eq. 5), so gradients reach the logits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Literal, Optional
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarConfig
+from repro.crossbar.encoding import ThermometerEncoder
+from repro.crossbar.mvm import pulsed_mvm
+from repro.crossbar.tiling import TiledCrossbar
+from repro.core.pla import RoundingMode, pla_approximate
+from repro.core.search_space import PulseScalingSpace
+from repro.nn.module import Parameter
+from repro.quant.activation import ActivationQuantizer
+from repro.quant.qat import QuantConv2d, QuantLinear
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.tensor.functional import softmax
+from repro.tensor.random import RandomState, default_rng
+
+ForwardMode = Literal["clean", "noisy", "gbo"]
+
+
+class EncodedLayerMixin:
+    """Shared configuration and noise machinery of the encoded layers.
+
+    The mixin holds everything that is *about the crossbar mapping* rather
+    than about the linear algebra: activation quantiser, pulse count, noise
+    level, forward mode and the GBO logits.  Sub-classes implement
+    ``_linear_op`` (the ideal binary-weight computation) and
+    ``_noise_shape`` (shape of the additive noise for one input batch).
+    """
+
+    def _init_encoding(
+        self,
+        activation_levels: int = 9,
+        noise_sigma: float = 0.0,
+        sigma_relative_to_fan_in: bool = False,
+        pla_mode: RoundingMode = "toward_extremes",
+        rng: Optional[RandomState] = None,
+    ) -> None:
+        self.act_quantizer = ActivationQuantizer(levels=activation_levels)
+        self.base_pulses = activation_levels - 1
+        self.num_pulses = self.base_pulses
+        self.noise_sigma = float(noise_sigma)
+        self.sigma_relative_to_fan_in = sigma_relative_to_fan_in
+        self.pla_mode: RoundingMode = pla_mode
+        self.mode: ForwardMode = "clean"
+        self.noise_rng = rng or default_rng()
+        self.gbo_space: Optional[PulseScalingSpace] = None
+        self.gbo_logits: Optional[Parameter] = None
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def fan_in(self) -> int:
+        """Number of crossbar rows feeding each output (defined by subclasses)."""
+        raise NotImplementedError
+
+    def effective_sigma(self) -> float:
+        """Per-pulse noise standard deviation used by this layer."""
+        if self.sigma_relative_to_fan_in:
+            return self.noise_sigma * float(np.sqrt(max(self.fan_in, 1)))
+        return self.noise_sigma
+
+    def set_mode(self, mode: ForwardMode) -> None:
+        """Switch between ``clean``, ``noisy`` and ``gbo`` forward behaviour."""
+        if mode not in ("clean", "noisy", "gbo"):
+            raise ValueError(f"unknown forward mode {mode!r}")
+        if mode == "gbo" and self.gbo_logits is None:
+            raise ValueError("enable_gbo() must be called before entering gbo mode")
+        self.mode = mode
+
+    def set_pulses(self, num_pulses: int) -> None:
+        """Set the inference pulse count (PLA re-encoding + noise averaging)."""
+        if num_pulses < 1:
+            raise ValueError(f"num_pulses must be positive, got {num_pulses}")
+        self.num_pulses = int(num_pulses)
+
+    def set_noise(self, sigma: float, relative_to_fan_in: Optional[bool] = None) -> None:
+        """Set the per-pulse crossbar noise level."""
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.noise_sigma = float(sigma)
+        if relative_to_fan_in is not None:
+            self.sigma_relative_to_fan_in = relative_to_fan_in
+
+    # ------------------------------------------------------------------
+    # GBO support (Eq. 5)
+    # ------------------------------------------------------------------
+    def enable_gbo(self, space: PulseScalingSpace) -> Parameter:
+        """Attach learnable encoding logits ``lambda_k`` over ``space``."""
+        self.gbo_space = space
+        logits = Parameter(np.zeros(space.num_options), name="gbo_logits")
+        # Register on the Module so parameters()/state_dict() see it.
+        self.register_parameter("gbo_logits", logits)
+        return logits
+
+    def gbo_alphas(self) -> Tensor:
+        """Softmax importance weights ``alpha_k`` of the candidate encodings."""
+        if self.gbo_logits is None:
+            raise ValueError("GBO is not enabled on this layer")
+        return softmax(self.gbo_logits, axis=0)
+
+    def gbo_expected_latency(self) -> Tensor:
+        """Differentiable expected pulse count ``sum_k alpha_k n_k p`` (Eq. 6)."""
+        alphas = self.gbo_alphas()
+        counts = Tensor(np.asarray(self.gbo_space.pulse_counts, dtype=np.float64))
+        return (alphas * counts).sum()
+
+    def gbo_selected_pulses(self) -> int:
+        """Argmax-selected pulse count (the paper's inference-time choice)."""
+        if self.gbo_logits is None:
+            raise ValueError("GBO is not enabled on this layer")
+        best = int(np.argmax(self.gbo_logits.data))
+        return self.gbo_space.pulses_for(best)
+
+    def _gbo_noise(self, shape) -> Tensor:
+        """Reparameterised mixture noise ``sum_k alpha_k eps_k sigma/sqrt(n_k p)``.
+
+        Fresh standard-normal draws ``eps_k`` are taken per forward call; the
+        noise magnitude of every candidate encoding is weighted by its
+        importance ``alpha_k`` so the gradient of the loss w.r.t. the logits
+        reflects how much accuracy suffers under that candidate's noise.
+        """
+        alphas = self.gbo_alphas()
+        sigma = self.effective_sigma()
+        total: Optional[Tensor] = None
+        for option_index, pulses in enumerate(self.gbo_space.pulse_counts):
+            scale = sigma / np.sqrt(float(pulses))
+            eps = Tensor(self.noise_rng.normal(0.0, 1.0, size=shape) * scale)
+            term = alphas[option_index] * eps
+            total = term if total is None else total + term
+        return total
+
+    # ------------------------------------------------------------------
+    # Input encoding
+    # ------------------------------------------------------------------
+    def _encode_input(self, x: Tensor) -> Tensor:
+        """Quantise the activation and apply PLA for the current pulse count.
+
+        In ``clean`` and ``gbo`` modes the input keeps its exact 9-level
+        representation (the baseline 8-pulse encoding); in ``noisy`` mode the
+        value is re-encoded for ``self.num_pulses`` pulses, which introduces
+        the PLA approximation error whenever the pulse count cannot represent
+        the original levels exactly.
+        """
+        quantised = self.act_quantizer(x)
+        if self.mode != "noisy" or self.num_pulses == self.base_pulses:
+            return quantised
+        approximated = pla_approximate(quantised.data, self.num_pulses, mode=self.pla_mode)
+        return quantised.with_data(approximated)
+
+    def _apply_output_noise(self, output: Tensor) -> Tensor:
+        """Add the crossbar read noise appropriate for the current mode."""
+        if self.mode == "noisy":
+            sigma = self.effective_sigma()
+            if sigma > 0:
+                std = sigma / np.sqrt(float(self.num_pulses))
+                noise = self.noise_rng.normal(0.0, std, size=output.shape)
+                output = output + Tensor(noise)
+        elif self.mode == "gbo":
+            if self.effective_sigma() > 0:
+                output = output + self._gbo_noise(output.shape)
+        return output
+
+    # ------------------------------------------------------------------
+    # Hardware mapping inspection
+    # ------------------------------------------------------------------
+    def as_crossbar(self, config: Optional[CrossbarConfig] = None) -> TiledCrossbar:
+        """Materialise this layer's binary weight matrix on (tiled) crossbars."""
+        matrix = self._weight_matrix()
+        return TiledCrossbar(matrix, config=config or CrossbarConfig(), rng=self.noise_rng)
+
+    def _weight_matrix(self) -> np.ndarray:
+        """Binary weight matrix of shape ``(out_features, fan_in)``."""
+        raise NotImplementedError
+
+
+class EncodedConv2d(QuantConv2d, EncodedLayerMixin):
+    """Binary-weight convolution with pulse-encoded input and crossbar noise."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        activation_levels: int = 9,
+        noise_sigma: float = 0.0,
+        sigma_relative_to_fan_in: bool = False,
+        pla_mode: RoundingMode = "toward_extremes",
+        rng: Optional[RandomState] = None,
+        weight_rng: Optional[RandomState] = None,
+    ):
+        super().__init__(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride,
+            padding,
+            bias=False,
+            rng=weight_rng,
+        )
+        self._init_encoding(
+            activation_levels=activation_levels,
+            noise_sigma=noise_sigma,
+            sigma_relative_to_fan_in=sigma_relative_to_fan_in,
+            pla_mode=pla_mode,
+            rng=rng,
+        )
+
+    @property
+    def fan_in(self) -> int:
+        return self.in_channels * self.kernel_size * self.kernel_size
+
+    def _weight_matrix(self) -> np.ndarray:
+        from repro.quant.binary import binary_sign
+
+        return binary_sign(self.weight.data).reshape(self.out_channels, -1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        encoded = self._encode_input(x)
+        batch, _, height, width = x.shape
+        out_h = F.conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        cols = F.im2col_tensor(encoded, self.kernel_size, self.stride, self.padding)
+        kernel_matrix = self.binary_weight().reshape(self.out_channels, -1)
+        out = kernel_matrix.matmul(cols)
+        # im2col orders columns spatial-major (out_h, out_w, batch); undo that.
+        out = out.reshape(self.out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
+        return self._apply_output_noise(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedConv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, pulses={self.num_pulses}, "
+            f"sigma={self.noise_sigma}, mode={self.mode!r})"
+        )
+
+
+class EncodedLinear(QuantLinear, EncodedLayerMixin):
+    """Binary-weight fully-connected layer with pulse-encoded input."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation_levels: int = 9,
+        noise_sigma: float = 0.0,
+        sigma_relative_to_fan_in: bool = False,
+        pla_mode: RoundingMode = "toward_extremes",
+        rng: Optional[RandomState] = None,
+        weight_rng: Optional[RandomState] = None,
+    ):
+        super().__init__(in_features, out_features, bias=False, rng=weight_rng)
+        self._init_encoding(
+            activation_levels=activation_levels,
+            noise_sigma=noise_sigma,
+            sigma_relative_to_fan_in=sigma_relative_to_fan_in,
+            pla_mode=pla_mode,
+            rng=rng,
+        )
+
+    @property
+    def fan_in(self) -> int:
+        return self.in_features
+
+    def _weight_matrix(self) -> np.ndarray:
+        from repro.quant.binary import binary_sign
+
+        return binary_sign(self.weight.data)
+
+    def forward(self, x: Tensor) -> Tensor:
+        encoded = self._encode_input(x)
+        out = encoded.matmul(self.binary_weight().transpose())
+        return self._apply_output_noise(out)
+
+    def simulate_pulsed_forward(
+        self, x: np.ndarray, crossbar_config: Optional[CrossbarConfig] = None
+    ) -> np.ndarray:
+        """Pulse-by-pulse crossbar simulation of this layer (validation path).
+
+        Quantises ``x``, encodes it with a thermometer encoder of the layer's
+        current pulse count and drives every pulse through a tiled crossbar
+        built from the layer's binary weights.  Used by the tests to confirm
+        that the fast folded path has the same statistics.
+        """
+        quantised_levels = self.act_quantizer.levels
+        values = np.clip(np.asarray(x, dtype=np.float64), -1.0, 1.0)
+        steps = quantised_levels - 1
+        values = np.round((values + 1.0) * 0.5 * steps) / steps * 2.0 - 1.0
+        if self.num_pulses != self.base_pulses:
+            values = pla_approximate(values, self.num_pulses, mode=self.pla_mode)
+        crossbar = self.as_crossbar(crossbar_config)
+        encoder = ThermometerEncoder(self.num_pulses)
+        return pulsed_mvm(crossbar, values, encoder, add_noise=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedLinear({self.in_features}, {self.out_features}, "
+            f"pulses={self.num_pulses}, sigma={self.noise_sigma}, mode={self.mode!r})"
+        )

@@ -1,0 +1,66 @@
+"""Per-layer pulse schedules.
+
+A :class:`PulseSchedule` is the object Table I reports in its
+"# pulses in each layer" column: one pulse count per encoded layer, plus the
+derived average pulse count (the latency proxy used throughout the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+
+@dataclass(frozen=True)
+class PulseSchedule:
+    """Immutable assignment of a pulse count to every encoded layer."""
+
+    pulses: Sequence[int]
+
+    def __post_init__(self) -> None:
+        pulses = tuple(int(p) for p in self.pulses)
+        if not pulses:
+            raise ValueError("a pulse schedule needs at least one layer")
+        if any(p < 1 for p in pulses):
+            raise ValueError(f"all pulse counts must be positive, got {pulses}")
+        object.__setattr__(self, "pulses", pulses)
+
+    @staticmethod
+    def uniform(num_layers: int, pulses: int) -> "PulseSchedule":
+        """Schedule assigning the same pulse count to every layer.
+
+        This is what the Baseline (8 pulses) and PLA-n rows of Table I use.
+        """
+        return PulseSchedule([pulses] * num_layers)
+
+    @property
+    def num_layers(self) -> int:
+        """Number of encoded layers covered by the schedule."""
+        return len(self.pulses)
+
+    @property
+    def average_pulses(self) -> float:
+        """Average pulse count across layers (the paper's latency metric)."""
+        return float(sum(self.pulses)) / len(self.pulses)
+
+    @property
+    def total_pulses(self) -> int:
+        """Total pulse count summed over layers."""
+        return int(sum(self.pulses))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.pulses)
+
+    def __len__(self) -> int:
+        return len(self.pulses)
+
+    def __getitem__(self, index: int) -> int:
+        return self.pulses[index]
+
+    def as_list(self) -> List[int]:
+        """Plain Python list of pulse counts (for reports and JSON)."""
+        return list(self.pulses)
+
+    def describe(self) -> str:
+        """Human-readable form matching the Table I layout."""
+        return f"{self.as_list()} (avg {self.average_pulses:.2f})"

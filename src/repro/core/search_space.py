@@ -1,0 +1,76 @@
+"""Pulse scaling search space Omega (Section III-A / IV-A).
+
+The paper sets the scaling-factor set to
+``[0.5, 0.75, 1, 1.25, 1.5, 1.75, 2]`` relative to the 8-pulse thermometer
+baseline, producing the pulse-length set ``[4, 6, 8, 10, 12, 14, 16]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+#: The paper's default scaling-factor set (Section IV-A).
+DEFAULT_SCALING_FACTORS: Tuple[float, ...] = (0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0)
+
+
+@dataclass(frozen=True)
+class PulseScalingSpace:
+    """The set of candidate pulse lengths a layer can choose from.
+
+    Attributes
+    ----------
+    scaling_factors:
+        Multipliers ``n`` applied to the baseline pulse count.
+    base_pulses:
+        Baseline thermometer pulse count ``p`` (8 in the paper, carrying the
+        9 activation levels).
+    """
+
+    scaling_factors: Tuple[float, ...] = DEFAULT_SCALING_FACTORS
+    base_pulses: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base_pulses < 1:
+            raise ValueError(f"base_pulses must be positive, got {self.base_pulses}")
+        if not self.scaling_factors:
+            raise ValueError("scaling_factors must not be empty")
+        if any(factor <= 0 for factor in self.scaling_factors):
+            raise ValueError("scaling factors must all be positive")
+        # Freeze to a tuple so the dataclass stays hashable even if a list
+        # was passed.
+        object.__setattr__(self, "scaling_factors", tuple(float(s) for s in self.scaling_factors))
+
+    @property
+    def num_options(self) -> int:
+        """Number of candidate encodings ``m``."""
+        return len(self.scaling_factors)
+
+    @property
+    def pulse_counts(self) -> List[int]:
+        """Candidate pulse lengths ``n * p`` rounded to whole pulses."""
+        return [max(1, int(round(factor * self.base_pulses))) for factor in self.scaling_factors]
+
+    def pulses_for(self, option_index: int) -> int:
+        """Pulse count of option ``option_index``."""
+        return self.pulse_counts[option_index]
+
+    def index_of_baseline(self) -> int:
+        """Index of the option whose pulse count equals ``base_pulses``.
+
+        Falls back to the option closest to the baseline if no exact match
+        exists in the configured factors.
+        """
+        counts = self.pulse_counts
+        differences = [abs(count - self.base_pulses) for count in counts]
+        return int(differences.index(min(differences)))
+
+    def __iter__(self):
+        return iter(self.pulse_counts)
+
+    def describe(self) -> str:
+        """Human-readable summary used by experiment logs."""
+        return (
+            f"Omega scaling={list(self.scaling_factors)} base_pulses={self.base_pulses} "
+            f"-> pulse lengths {self.pulse_counts}"
+        )

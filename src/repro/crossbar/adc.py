@@ -1,0 +1,60 @@
+"""Analog-to-digital converter models for the crossbar column outputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ADC:
+    """Uniform ADC quantising outputs in ``[-full_scale, full_scale]``.
+
+    Parameters
+    ----------
+    bits:
+        Converter resolution.
+    full_scale:
+        Symmetric full-scale range; outputs beyond it saturate, modelling
+        the limited dynamic range of column sense amplifiers.
+    """
+
+    def __init__(self, bits: int, full_scale: float):
+        if bits < 1:
+            raise ValueError(f"ADC resolution must be at least 1 bit, got {bits}")
+        if full_scale <= 0:
+            raise ValueError(f"full_scale must be positive, got {full_scale}")
+        self.bits = bits
+        self.full_scale = float(full_scale)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable output codes."""
+        return 2 ** self.bits
+
+    @property
+    def lsb(self) -> float:
+        """Least-significant-bit step size."""
+        return 2.0 * self.full_scale / (self.num_levels - 1)
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """Quantise ``values`` to the ADC grid with saturation."""
+        values = np.clip(np.asarray(values, dtype=np.float64), -self.full_scale, self.full_scale)
+        steps = self.num_levels - 1
+        normalised = (values + self.full_scale) / (2.0 * self.full_scale)
+        quantised = np.round(normalised * steps) / steps
+        return quantised * 2.0 * self.full_scale - self.full_scale
+
+    def __repr__(self) -> str:
+        return f"ADC(bits={self.bits}, full_scale={self.full_scale})"
+
+
+class IdealADC(ADC):
+    """Pass-through ADC with unlimited resolution and no saturation."""
+
+    def __init__(self):
+        super().__init__(bits=1, full_scale=1.0)
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return "IdealADC()"

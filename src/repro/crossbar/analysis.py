@@ -1,0 +1,95 @@
+"""Closed-form and Monte-Carlo analysis of encoding noise (Fig. 1b).
+
+The paper derives the accumulated output-noise variance of the two binary
+encodings when each pulse suffers independent additive Gaussian noise of
+variance ``sigma^2``:
+
+* bit slicing over ``p`` pulses (Eq. 2):
+  ``Var = sigma^2 * sum_i (2^i)^2 / (sum_i 2^i)^2``
+* thermometer coding over ``p`` pulses (Eq. 3):
+  ``Var = sigma^2 / p``
+
+Fig. 1(b) plots these normalised to the single-pulse baseline as a function
+of the number of information bits ``b`` (bit slicing uses ``p = b`` pulses,
+thermometer coding uses ``p = 2^b - 1`` pulses to carry the same number of
+levels).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray, CrossbarConfig
+from repro.crossbar.encoding import BitSlicingEncoder, ThermometerEncoder
+from repro.crossbar.mvm import pulsed_mvm
+from repro.crossbar.noise import GaussianReadNoise
+from repro.tensor.random import RandomState
+
+
+def bit_slicing_noise_variance(num_pulses: int, sigma: float = 1.0) -> float:
+    """Accumulated noise variance of bit slicing with ``num_pulses`` pulses (Eq. 2)."""
+    if num_pulses < 1:
+        raise ValueError(f"num_pulses must be positive, got {num_pulses}")
+    powers = 2.0 ** np.arange(num_pulses)
+    return float(sigma**2 * np.sum(powers**2) / np.sum(powers) ** 2)
+
+
+def thermometer_noise_variance(num_pulses: Union[int, float], sigma: float = 1.0) -> float:
+    """Accumulated noise variance of thermometer coding with ``num_pulses`` pulses (Eq. 3)."""
+    if num_pulses <= 0:
+        raise ValueError(f"num_pulses must be positive, got {num_pulses}")
+    return float(sigma**2 / num_pulses)
+
+
+def noise_variance_table(
+    bit_range: Sequence[int] = range(1, 9), normalise: bool = True
+) -> Dict[str, List[float]]:
+    """Reproduce the Fig. 1(b) series: noise variance versus information bits.
+
+    For ``b`` bits of information, bit slicing needs ``b`` pulses and
+    thermometer coding ``2^b - 1`` pulses.  With ``normalise=True`` both
+    series are divided by the 1-bit (single pulse) variance so the baseline
+    is 1, exactly as in the figure.
+    """
+    bits = list(int(b) for b in bit_range)
+    if any(b < 1 for b in bits):
+        raise ValueError("bit_range entries must be >= 1")
+    baseline = bit_slicing_noise_variance(1) if normalise else 1.0
+    slicing = [bit_slicing_noise_variance(b) / baseline for b in bits]
+    thermometer = [thermometer_noise_variance(2**b - 1) / baseline for b in bits]
+    return {"bits": [float(b) for b in bits], "bit_slicing": slicing, "thermometer": thermometer}
+
+
+def monte_carlo_noise_variance(
+    encoder: Union[BitSlicingEncoder, ThermometerEncoder],
+    sigma: float = 1.0,
+    in_features: int = 64,
+    out_features: int = 16,
+    num_trials: int = 200,
+    rng: Optional[RandomState] = None,
+) -> float:
+    """Empirically estimate the accumulated output-noise variance of an encoder.
+
+    A random binary weight matrix and random quantised inputs are driven
+    through a noisy crossbar with the given encoder; the variance of the
+    deviation from the noise-free result, averaged over outputs and trials,
+    estimates the accumulated noise variance and should match the
+    closed-form expressions above.
+    """
+    rng = rng or RandomState(0)
+    weights = np.where(rng.uniform(size=(out_features, in_features)) < 0.5, -1.0, 1.0)
+    config = CrossbarConfig(noise=GaussianReadNoise(sigma))
+    noisy_bar = CrossbarArray(weights, config=config, rng=rng)
+
+    levels = encoder.levels
+    deviations = []
+    for _ in range(num_trials):
+        level_indices = rng.randint(0, levels, size=in_features)
+        values = 2.0 * level_indices / (levels - 1) - 1.0
+        ideal = pulsed_mvm(noisy_bar, values, encoder, add_noise=False)
+        noisy = pulsed_mvm(noisy_bar, values, encoder, add_noise=True)
+        deviations.append(noisy - ideal)
+    stacked = np.concatenate([d.reshape(-1) for d in deviations])
+    return float(np.var(stacked))

@@ -1,0 +1,67 @@
+"""Digital-to-analog converter models for the crossbar input drivers.
+
+Binary pulse encodings only ever require a 1-bit DAC (a pulse is either the
+positive or the negative read voltage), which is precisely the circuit
+advantage the paper exploits.  A multi-bit uniform DAC is also provided so
+the amplitude-encoding alternative of Fig. 1(a) can be modelled in
+ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DAC:
+    """Uniform DAC quantising inputs in ``[-v_ref, v_ref]`` to ``bits`` bits."""
+
+    def __init__(self, bits: int, v_ref: float = 1.0):
+        if bits < 1:
+            raise ValueError(f"DAC resolution must be at least 1 bit, got {bits}")
+        if v_ref <= 0:
+            raise ValueError(f"v_ref must be positive, got {v_ref}")
+        self.bits = bits
+        self.v_ref = float(v_ref)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable voltage levels."""
+        return 2 ** self.bits
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """Quantise ``values`` to the DAC grid (clipping to ``[-v_ref, v_ref]``)."""
+        values = np.clip(np.asarray(values, dtype=np.float64), -self.v_ref, self.v_ref)
+        steps = self.num_levels - 1
+        normalised = (values + self.v_ref) / (2.0 * self.v_ref)
+        quantised = np.round(normalised * steps) / steps
+        return quantised * 2.0 * self.v_ref - self.v_ref
+
+    def __repr__(self) -> str:
+        return f"DAC(bits={self.bits}, v_ref={self.v_ref})"
+
+
+class IdealDAC(DAC):
+    """Pass-through DAC with unlimited resolution (clipping only)."""
+
+    def __init__(self, v_ref: float = 1.0):
+        super().__init__(bits=1, v_ref=v_ref)
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(values, dtype=np.float64), -self.v_ref, self.v_ref)
+
+    def __repr__(self) -> str:
+        return f"IdealDAC(v_ref={self.v_ref})"
+
+
+class BinaryPulseDAC(DAC):
+    """1-bit DAC driving pulses at exactly ``-v_ref`` or ``+v_ref``."""
+
+    def __init__(self, v_ref: float = 1.0):
+        super().__init__(bits=1, v_ref=v_ref)
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return np.where(values >= 0, self.v_ref, -self.v_ref)
+
+    def __repr__(self) -> str:
+        return f"BinaryPulseDAC(v_ref={self.v_ref})"

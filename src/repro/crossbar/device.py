@@ -1,0 +1,101 @@
+"""Binary NVM device model and conductance mapping.
+
+A binary memristive cell stores one of two conductance states
+``G_on``/``G_off``.  A signed binary weight ``w in {-1, +1}`` is realised
+differentially with a pair of cells: the positive column carries ``G_on``
+when ``w = +1`` and ``G_off`` otherwise, and vice versa for the negative
+column.  The effective analog weight seen by the MVM is then
+
+    w_eff = (G_pos - G_neg) / (G_on - G_off)
+
+which equals ``w`` for ideal devices and deviates under programming
+variation and a finite on/off ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.random import RandomState, default_rng
+
+
+@dataclass
+class DeviceConfig:
+    """Physical parameters of the binary memristive cell.
+
+    Attributes
+    ----------
+    g_on / g_off:
+        High / low conductance states in arbitrary units.  Their ratio is the
+        on/off ratio of the device; an infinite ratio corresponds to
+        ``g_off = 0``.
+    programming_variation:
+        Relative standard deviation of the programmed conductance (lognormal
+        multiplicative variation), modelling device-to-device mismatch.
+    """
+
+    g_on: float = 1.0
+    g_off: float = 0.0
+    programming_variation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.g_on <= self.g_off:
+            raise ValueError(
+                f"g_on must exceed g_off, got g_on={self.g_on}, g_off={self.g_off}"
+            )
+        if self.programming_variation < 0:
+            raise ValueError("programming_variation must be non-negative")
+
+    @property
+    def on_off_ratio(self) -> float:
+        """On/off conductance ratio (infinite when ``g_off`` is zero)."""
+        return float("inf") if self.g_off == 0 else self.g_on / self.g_off
+
+
+class ConductanceMapper:
+    """Maps signed binary weights to differential conductance pairs and back."""
+
+    def __init__(self, config: Optional[DeviceConfig] = None, rng: Optional[RandomState] = None):
+        self.config = config or DeviceConfig()
+        self._rng = rng or default_rng()
+
+    def program(self, binary_weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Program a binary weight matrix into (G_pos, G_neg) conductances.
+
+        Parameters
+        ----------
+        binary_weights:
+            Array with entries in {-1, +1}.
+
+        Returns
+        -------
+        (g_pos, g_neg):
+            Conductance arrays of the same shape, including programming
+            variation if configured.
+        """
+        weights = np.asarray(binary_weights, dtype=np.float64)
+        if not np.all(np.isin(weights, (-1.0, 1.0))):
+            raise ValueError("binary crossbar can only store weights in {-1, +1}")
+        cfg = self.config
+        g_pos = np.where(weights > 0, cfg.g_on, cfg.g_off).astype(np.float64)
+        g_neg = np.where(weights > 0, cfg.g_off, cfg.g_on).astype(np.float64)
+        if cfg.programming_variation > 0:
+            g_pos = g_pos * self._variation(g_pos.shape)
+            g_neg = g_neg * self._variation(g_neg.shape)
+        return g_pos, g_neg
+
+    def effective_weights(self, g_pos: np.ndarray, g_neg: np.ndarray) -> np.ndarray:
+        """Analog weights realised by a differential conductance pair."""
+        cfg = self.config
+        return (g_pos - g_neg) / (cfg.g_on - cfg.g_off)
+
+    def _variation(self, shape) -> np.ndarray:
+        sigma = self.config.programming_variation
+        # Lognormal multiplicative variation keeps conductances positive.
+        return np.exp(self._rng.normal(0.0, sigma, size=shape))
+
+    def __repr__(self) -> str:
+        return f"ConductanceMapper(config={self.config})"

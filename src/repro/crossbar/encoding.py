@@ -1,0 +1,168 @@
+"""Input bit encodings for the binary crossbar (Section II-B of the paper).
+
+Two binary encodings are implemented:
+
+* **Bit slicing** — a ``b``-bit value is streamed as ``b`` pulses that follow
+  its binary representation; pulse ``i`` contributes with weight
+  ``2^i / (2^b - 1)``, so the accumulated noise is amplified by the squared
+  weights (paper Eq. 2).
+* **Thermometer coding** — a value with ``p + 1`` levels is streamed as ``p``
+  equally weighted pulses, the number of positive pulses being proportional
+  to the level (paper Eq. 3).  Noise averages down as ``1/p``.
+
+Both encoders work on values already quantised to ``[-1, 1]``; pulses take
+values in ``{-1, +1}`` (differential read voltages), which lets signed
+activations be represented without a separate sign channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class PulseTrain:
+    """A sequence of binary input pulses plus their accumulation weights.
+
+    Attributes
+    ----------
+    pulses:
+        Array of shape ``(num_pulses, *value_shape)`` with entries in
+        ``{-1, +1}``.
+    weights:
+        Accumulation weight of each pulse, shape ``(num_pulses,)``; the
+        represented value is ``sum_i weights[i] * pulses[i]``.
+    """
+
+    pulses: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def num_pulses(self) -> int:
+        """Number of pulses (time steps) in the train."""
+        return int(self.pulses.shape[0])
+
+    @property
+    def value_shape(self) -> Tuple[int, ...]:
+        """Shape of the encoded value array."""
+        return tuple(self.pulses.shape[1:])
+
+    def decode(self) -> np.ndarray:
+        """Reconstruct the represented values from the pulse train."""
+        return np.tensordot(self.weights, self.pulses, axes=(0, 0))
+
+    def latency(self) -> int:
+        """Crossbar read latency in pulse counts (alias of :attr:`num_pulses`)."""
+        return self.num_pulses
+
+
+class ThermometerEncoder:
+    """Thermometer (unary) coding with ``num_pulses`` equally weighted pulses.
+
+    A value ``v`` in ``[-1, 1]`` is represented by ``k`` positive pulses and
+    ``num_pulses - k`` negative pulses with
+    ``k = round((v + 1) / 2 * num_pulses)``; the decoded value is
+    ``(2 k - num_pulses) / num_pulses``.  With ``num_pulses = levels - 1``
+    every quantisation level is represented exactly.
+    """
+
+    def __init__(self, num_pulses: int):
+        if num_pulses < 1:
+            raise ValueError(f"num_pulses must be positive, got {num_pulses}")
+        self.num_pulses = int(num_pulses)
+
+    @property
+    def levels(self) -> int:
+        """Number of values exactly representable by this encoder."""
+        return self.num_pulses + 1
+
+    def positive_counts(self, values: np.ndarray) -> np.ndarray:
+        """Number of +1 pulses used for each value."""
+        values = np.asarray(values, dtype=np.float64)
+        counts = np.round((np.clip(values, -1.0, 1.0) + 1.0) * 0.5 * self.num_pulses)
+        return np.clip(counts, 0, self.num_pulses).astype(np.int64)
+
+    def represented_values(self, values: np.ndarray) -> np.ndarray:
+        """The values actually conveyed after encoding (round-trip)."""
+        counts = self.positive_counts(values)
+        return 2.0 * counts.astype(np.float64) / self.num_pulses - 1.0
+
+    def encode(self, values: np.ndarray) -> PulseTrain:
+        """Encode values into a :class:`PulseTrain` of shape ``(p, *shape)``."""
+        values = np.asarray(values, dtype=np.float64)
+        counts = self.positive_counts(values)
+        # Pulse i is +1 while i < count, else -1 (classic thermometer layout).
+        indices = np.arange(self.num_pulses).reshape((self.num_pulses,) + (1,) * values.ndim)
+        pulses = np.where(indices < counts[None, ...], 1.0, -1.0)
+        weights = np.full(self.num_pulses, 1.0 / self.num_pulses)
+        return PulseTrain(pulses=pulses, weights=weights)
+
+    def quantisation_error(self, values: np.ndarray) -> np.ndarray:
+        """Absolute error between the input and its encoded representation."""
+        return np.abs(np.asarray(values, dtype=np.float64) - self.represented_values(values))
+
+    def __repr__(self) -> str:
+        return f"ThermometerEncoder(num_pulses={self.num_pulses})"
+
+
+class BitSlicingEncoder:
+    """Positional (binary weighted) coding with ``bits`` pulses.
+
+    A value in ``[-1, 1]`` is quantised to one of ``2^bits`` uniformly spaced
+    levels; pulse ``i`` carries bit ``i`` of the level index as ``+1``/``-1``
+    and contributes with weight ``2^i / (2^bits - 1)``, so that the decoded
+    value equals the quantised level exactly.
+    """
+
+    def __init__(self, bits: int):
+        if bits < 1:
+            raise ValueError(f"bits must be positive, got {bits}")
+        self.bits = int(bits)
+
+    @property
+    def num_pulses(self) -> int:
+        """Number of pulses (one per bit)."""
+        return self.bits
+
+    @property
+    def levels(self) -> int:
+        """Number of values exactly representable by this encoder."""
+        return 2 ** self.bits
+
+    @property
+    def pulse_weights(self) -> np.ndarray:
+        """Accumulation weights ``2^i / (2^bits - 1)`` for ``i = 0..bits-1``."""
+        powers = 2.0 ** np.arange(self.bits)
+        return powers / powers.sum()
+
+    def level_index(self, values: np.ndarray) -> np.ndarray:
+        """Quantised level index in ``[0, 2^bits - 1]`` for each value."""
+        values = np.asarray(values, dtype=np.float64)
+        max_level = self.levels - 1
+        levels = np.round((np.clip(values, -1.0, 1.0) + 1.0) * 0.5 * max_level)
+        return np.clip(levels, 0, max_level).astype(np.int64)
+
+    def represented_values(self, values: np.ndarray) -> np.ndarray:
+        """The values actually conveyed after encoding (round-trip)."""
+        levels = self.level_index(values)
+        max_level = self.levels - 1
+        return 2.0 * levels.astype(np.float64) / max_level - 1.0
+
+    def encode(self, values: np.ndarray) -> PulseTrain:
+        """Encode values into a :class:`PulseTrain` of shape ``(bits, *shape)``."""
+        values = np.asarray(values, dtype=np.float64)
+        levels = self.level_index(values)
+        bit_positions = np.arange(self.bits).reshape((self.bits,) + (1,) * values.ndim)
+        bits = (levels[None, ...] >> bit_positions) & 1
+        pulses = np.where(bits > 0, 1.0, -1.0)
+        return PulseTrain(pulses=pulses, weights=self.pulse_weights)
+
+    def quantisation_error(self, values: np.ndarray) -> np.ndarray:
+        """Absolute error between the input and its encoded representation."""
+        return np.abs(np.asarray(values, dtype=np.float64) - self.represented_values(values))
+
+    def __repr__(self) -> str:
+        return f"BitSlicingEncoder(bits={self.bits})"

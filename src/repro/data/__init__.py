@@ -1,0 +1,35 @@
+"""Data pipeline: datasets, loaders, transforms and the synthetic image task.
+
+CIFAR-10 cannot be downloaded in this offline environment, so the
+reproduction ships :mod:`repro.data.synthetic` — a deterministic procedural
+generator of 32x32x3 ten-class images with the same tensor shapes and a
+comparable learnability profile (see DESIGN.md, substitution table).
+"""
+
+from repro.data.dataset import Dataset, TensorDataset, Subset
+from repro.data.dataloader import DataLoader
+from repro.data.synthetic import SyntheticImageDataset, SyntheticImageConfig, make_synthetic_cifar
+from repro.data.transforms import (
+    Compose,
+    Normalize,
+    RandomHorizontalFlip,
+    RandomCrop,
+    ToFloat,
+)
+from repro.data.splits import train_val_split
+
+__all__ = [
+    "Dataset",
+    "TensorDataset",
+    "Subset",
+    "DataLoader",
+    "SyntheticImageDataset",
+    "SyntheticImageConfig",
+    "make_synthetic_cifar",
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "ToFloat",
+    "train_val_split",
+]

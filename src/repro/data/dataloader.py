@@ -1,0 +1,55 @@
+"""Mini-batch data loader."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.tensor.random import RandomState, default_rng
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled or sequential mini-batches.
+
+    Yields ``(inputs, labels)`` pairs of numpy arrays with shapes
+    ``(batch, ...)`` and ``(batch,)``.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: Optional[RandomState] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng or default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            batch_indices = order[start : start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            images = []
+            labels = []
+            for index in batch_indices:
+                image, label = self.dataset[int(index)]
+                images.append(image)
+                labels.append(label)
+            yield np.stack(images, axis=0), np.asarray(labels, dtype=np.int64)

@@ -1,0 +1,34 @@
+"""Dataset splitting helpers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.data.dataset import Dataset, Subset
+from repro.tensor.random import RandomState, default_rng
+
+
+def train_val_split(
+    dataset: Dataset, val_fraction: float = 0.1, rng: Optional[RandomState] = None
+) -> Tuple[Subset, Subset]:
+    """Randomly split a dataset into train and validation subsets.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to split.
+    val_fraction:
+        Fraction of samples assigned to the validation subset.
+    rng:
+        Random state controlling the permutation (defaults to the library
+        default generator).
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in (0, 1), got {val_fraction}")
+    rng = rng or default_rng()
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_val = max(1, int(round(n * val_fraction)))
+    val_indices = order[:n_val]
+    train_indices = order[n_val:]
+    return Subset(dataset, train_indices), Subset(dataset, val_indices)

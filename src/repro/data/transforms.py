@@ -1,0 +1,88 @@
+"""Per-sample image transforms.
+
+Transforms operate on single ``(C, H, W)`` numpy arrays and are composed
+with :class:`Compose`; random transforms take an explicit random state so
+augmentation is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.tensor.random import RandomState, default_rng
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]):
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+    def __repr__(self) -> str:
+        inner = ", ".join(type(t).__name__ for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class ToFloat:
+    """Convert to float64 and optionally rescale from [0, 255] to [0, 1]."""
+
+    def __init__(self, scale: bool = False):
+        self.scale = scale
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image, dtype=np.float64)
+        return image / 255.0 if self.scale else image
+
+
+class Normalize:
+    """Channel-wise normalisation ``(x - mean) / std`` for CHW images."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=np.float64).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(-1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std values must be strictly positive")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return (image - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[RandomState] = None):
+        self.p = p
+        self._rng = rng or default_rng()
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self._rng.uniform() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class RandomCrop:
+    """Pad the image then crop a random window of the original size."""
+
+    def __init__(self, padding: int = 4, rng: Optional[RandomState] = None):
+        self.padding = padding
+        self._rng = rng or default_rng()
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return image
+        channels, height, width = image.shape
+        padded = np.pad(
+            image,
+            ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+            mode="constant",
+        )
+        top = int(self._rng.randint(0, 2 * self.padding + 1))
+        left = int(self._rng.randint(0, 2 * self.padding + 1))
+        return padded[:, top : top + height, left : left + width].copy()

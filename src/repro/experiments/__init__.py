@@ -1,0 +1,39 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver returns a plain dataclass (rows of numbers plus the matching
+paper values where applicable) so the benchmark harness, the examples and
+EXPERIMENTS.md can all render the same results.
+
+Profiles (``smoke`` / ``fast`` / ``paper``) control the scale of the
+underlying model and dataset; see :mod:`repro.experiments.profiles`.
+"""
+
+from repro.experiments.profiles import ExperimentProfile, get_profile, PROFILES
+from repro.experiments.common import ExperimentBundle, get_pretrained_bundle, build_model, build_loaders
+from repro.experiments.fig1b import run_fig1b, Fig1bResult
+from repro.experiments.fig2 import run_fig2, Fig2Result
+from repro.experiments.table1 import run_table1, Table1Result, Table1Row
+from repro.experiments.table2 import run_table2, Table2Result, Table2Row
+from repro.experiments.registry import EXPERIMENTS, describe_experiments
+
+__all__ = [
+    "ExperimentProfile",
+    "get_profile",
+    "PROFILES",
+    "ExperimentBundle",
+    "get_pretrained_bundle",
+    "build_model",
+    "build_loaders",
+    "run_fig1b",
+    "Fig1bResult",
+    "run_fig2",
+    "Fig2Result",
+    "run_table1",
+    "Table1Result",
+    "Table1Row",
+    "run_table2",
+    "Table2Result",
+    "Table2Row",
+    "EXPERIMENTS",
+    "describe_experiments",
+]

@@ -1,0 +1,236 @@
+"""Ablation experiments beyond the paper's main tables.
+
+``A1`` — end-to-end encoding comparison: accuracy of the pre-trained network
+when the per-layer accumulated noise follows the bit-slicing formula versus
+the thermometer formula for the same amount of carried information.
+
+``A2`` — PLA approximation error: mean absolute representation error of PLA
+re-encoding as a function of the pulse count and of the rounding mode
+(towards the extremes, as in the paper, versus nearest).
+
+``A3`` — gamma trade-off: GBO's selected average pulse count and resulting
+accuracy as the latency weight gamma of Eq. 6 is swept, exposing the
+accuracy/latency Pareto front the paper's two GBO rows sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.gbo import GBOConfig, GBOTrainer
+from repro.core.pla import pla_approximation_error
+from repro.core.schedule import PulseSchedule
+from repro.core.search_space import PulseScalingSpace
+from repro.crossbar.analysis import bit_slicing_noise_variance, thermometer_noise_variance
+from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
+from repro.experiments.profiles import ExperimentProfile
+from repro.tensor.random import RandomState
+from repro.training.evaluate import noisy_accuracy
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("repro.ablations")
+
+
+# ---------------------------------------------------------------------------
+# A1 — encoding scheme comparison on the full network
+# ---------------------------------------------------------------------------
+@dataclass
+class EncodingAblationRow:
+    """Accuracy of one encoding scheme at one noise level."""
+
+    encoding: str
+    sigma: float
+    effective_noise_std: float
+    accuracy: float
+
+
+@dataclass
+class EncodingAblationResult:
+    """Rows of the encoding-scheme ablation (A1)."""
+
+    levels: int
+    rows: List[EncodingAblationRow] = field(default_factory=list)
+
+    def accuracy(self, encoding: str, sigma: float) -> float:
+        """Accuracy for a given encoding and noise level."""
+        for row in self.rows:
+            if row.encoding == encoding and row.sigma == sigma:
+                return row.accuracy
+        raise KeyError(f"no row for encoding={encoding!r} sigma={sigma}")
+
+
+def run_encoding_ablation(
+    profile: Optional[ExperimentProfile] = None,
+    bundle: Optional[ExperimentBundle] = None,
+    sigmas: Optional[Sequence[float]] = None,
+) -> EncodingAblationResult:
+    """A1: compare thermometer coding and bit slicing end to end.
+
+    Both encodings carry the same information (the layer's 9 activation
+    levels need ``ceil(log2(9)) = 4`` bit-slicing pulses or 8 thermometer
+    pulses).  The folded noise model is used: the per-layer accumulated
+    noise standard deviation is set according to each scheme's closed-form
+    variance, so the comparison isolates the encoding effect the paper's
+    Section II-B analyses.
+    """
+    bundle = bundle or get_pretrained_bundle(profile)
+    profile = bundle.profile
+    model = bundle.model
+    sigmas = list(sigmas if sigmas is not None else profile.sigmas)
+    levels = profile.activation_levels
+    base_pulses = profile.base_pulses
+    slicing_bits = max(1, math.ceil(math.log2(levels)))
+    num_layers = model.num_encoded_layers()
+    baseline_schedule = PulseSchedule.uniform(num_layers, base_pulses)
+
+    result = EncodingAblationResult(levels=levels)
+    for sigma in sigmas:
+        thermo_std = math.sqrt(thermometer_noise_variance(base_pulses, sigma=sigma))
+        slicing_std = math.sqrt(bit_slicing_noise_variance(slicing_bits, sigma=sigma))
+        for encoding, accumulated_std in (
+            ("thermometer", thermo_std),
+            ("bit_slicing", slicing_std),
+        ):
+            # The encoded layers divide sigma by sqrt(num_pulses); choose the
+            # per-pulse sigma that lands exactly on the target accumulated std.
+            per_pulse_sigma = accumulated_std * math.sqrt(base_pulses)
+            accuracy = noisy_accuracy(
+                model,
+                bundle.test_loader,
+                sigma=per_pulse_sigma,
+                schedule=baseline_schedule,
+                sigma_relative_to_fan_in=False,
+                num_repeats=profile.eval_repeats,
+            )
+            result.rows.append(
+                EncodingAblationRow(
+                    encoding=encoding,
+                    sigma=sigma,
+                    effective_noise_std=accumulated_std,
+                    accuracy=accuracy,
+                )
+            )
+            LOGGER.info(
+                "ablation A1 sigma=%.2f %s: accumulated_std=%.3f acc=%.2f%%",
+                sigma,
+                encoding,
+                accumulated_std,
+                accuracy,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# A2 — PLA approximation error
+# ---------------------------------------------------------------------------
+@dataclass
+class PLAErrorRow:
+    """Approximation error of PLA for one pulse count and rounding mode."""
+
+    num_pulses: int
+    mode: str
+    mean_abs_error: float
+
+
+def run_pla_error_ablation(
+    pulse_counts: Sequence[int] = (4, 6, 8, 10, 12, 14, 16),
+    levels: int = 9,
+    num_samples: int = 4096,
+    saturation: float = 0.6,
+    seed: int = 0,
+) -> List[PLAErrorRow]:
+    """A2: representation error of PLA re-encoding.
+
+    Synthetic activations are drawn from a saturating distribution (a
+    fraction ``saturation`` of the mass at exactly +-1, the rest uniform over
+    the quantisation grid), mimicking the BN + Tanh statistics the paper's
+    PLA relies on, and the mean absolute re-encoding error is reported for
+    both rounding modes.
+    """
+    rng = RandomState(seed)
+    grid = np.linspace(-1.0, 1.0, levels)
+    uniform_part = rng.choice(grid, size=num_samples)
+    saturated_part = rng.choice(np.array([-1.0, 1.0]), size=num_samples)
+    mask = rng.uniform(size=num_samples) < saturation
+    values = np.where(mask, saturated_part, uniform_part)
+
+    rows: List[PLAErrorRow] = []
+    for pulses in pulse_counts:
+        for mode in ("toward_extremes", "nearest"):
+            error = pla_approximation_error(values, int(pulses), mode=mode)
+            rows.append(PLAErrorRow(num_pulses=int(pulses), mode=mode, mean_abs_error=error))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# A3 — gamma trade-off
+# ---------------------------------------------------------------------------
+@dataclass
+class GammaTradeoffRow:
+    """GBO outcome for one latency weight gamma."""
+
+    gamma: float
+    average_pulses: float
+    accuracy: float
+    schedule: List[int]
+
+
+def run_gamma_tradeoff(
+    gammas: Sequence[float],
+    sigma: Optional[float] = None,
+    profile: Optional[ExperimentProfile] = None,
+    bundle: Optional[ExperimentBundle] = None,
+) -> List[GammaTradeoffRow]:
+    """A3: sweep the latency weight gamma of the GBO objective (Eq. 6).
+
+    Larger gamma should push the selected schedules towards fewer pulses
+    (lower latency, more noise, lower accuracy) — the trade-off the paper's
+    two GBO rows per noise level sample at two points.
+    """
+    bundle = bundle or get_pretrained_bundle(profile)
+    profile = bundle.profile
+    model = bundle.model
+    sigma = sigma if sigma is not None else profile.sigmas[len(profile.sigmas) // 2]
+    space = PulseScalingSpace(base_pulses=profile.base_pulses)
+
+    rows: List[GammaTradeoffRow] = []
+    for gamma in gammas:
+        model.set_noise(sigma, relative_to_fan_in=profile.noise_relative_to_fan_in)
+        trainer = GBOTrainer(
+            model,
+            GBOConfig(
+                space=space,
+                gamma=float(gamma),
+                learning_rate=profile.gbo_lr,
+                epochs=profile.gbo_epochs,
+            ),
+        )
+        gbo_result = trainer.train(bundle.gbo_loader)
+        accuracy = noisy_accuracy(
+            model,
+            bundle.test_loader,
+            sigma=sigma,
+            schedule=gbo_result.schedule,
+            sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+            num_repeats=profile.eval_repeats,
+        )
+        model.requires_grad_(True)
+        rows.append(
+            GammaTradeoffRow(
+                gamma=float(gamma),
+                average_pulses=gbo_result.schedule.average_pulses,
+                accuracy=accuracy,
+                schedule=gbo_result.schedule.as_list(),
+            )
+        )
+        LOGGER.info(
+            "ablation A3 gamma=%.4g: avg_pulses=%.2f acc=%.2f%%",
+            gamma,
+            gbo_result.schedule.average_pulses,
+            accuracy,
+        )
+    return rows

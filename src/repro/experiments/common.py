@@ -1,0 +1,203 @@
+"""Shared experiment infrastructure: data building, model building and a
+cached pre-training stage.
+
+Pre-training the binary-weight network is by far the most expensive step of
+the reproduction, and every table/figure needs the same pre-trained model.
+:func:`get_pretrained_bundle` therefore memoises the result both in-process
+and on disk (``.repro_cache/``), keyed by the profile, so the benchmark
+harness pre-trains exactly once per profile.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data import DataLoader, SyntheticImageConfig, make_synthetic_cifar
+from repro.data.dataset import Subset, TensorDataset
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.models import VGG9, CrossbarLeNet, CrossbarMLP, VGGConfig
+from repro.tensor.random import RandomState
+from repro.training import PretrainConfig, evaluate_accuracy, pretrain_model
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.utils.logging import get_logger
+from repro.utils.seed import seed_everything
+
+LOGGER = get_logger("repro.experiments")
+
+#: Default on-disk cache directory for pre-trained models.
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", os.path.join(os.getcwd(), ".repro_cache"))
+
+_BUNDLE_CACHE: Dict[str, "ExperimentBundle"] = {}
+
+
+@dataclass
+class ExperimentBundle:
+    """Everything an experiment needs: data loaders and a pre-trained model."""
+
+    profile: ExperimentProfile
+    model: object
+    train_loader: DataLoader
+    test_loader: DataLoader
+    gbo_loader: DataLoader
+    clean_accuracy: float
+
+    def pretrained_state(self) -> Dict[str, np.ndarray]:
+        """A copy of the pre-trained parameters/buffers for later restores."""
+        return self.model.state_dict()
+
+    def restore(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore the model to a given parameter/buffer state.
+
+        Non-strict loading is used on purpose: the GBO stage attaches extra
+        ``gbo_logits`` parameters to the encoded layers, so a state captured
+        before GBO is a strict subset of the model's current parameters.
+        """
+        self.model.load_state_dict(state, strict=False)
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+def build_loaders(
+    profile: ExperimentProfile,
+) -> Tuple[DataLoader, DataLoader, DataLoader]:
+    """Build (train, test, gbo) data loaders for a profile.
+
+    The GBO loader iterates a fixed subset of the training set — the paper
+    trains the encoding logits on the training data; a subset keeps the
+    pure-numpy backend fast while leaving gradients representative.
+    """
+    config = SyntheticImageConfig(
+        num_classes=profile.num_classes, image_size=profile.image_size
+    )
+    train_set, test_set = make_synthetic_cifar(
+        num_train=profile.num_train,
+        num_test=profile.num_test,
+        config=config,
+        seed=profile.seed,
+    )
+    rng = RandomState(profile.seed + 1)
+    train_loader = DataLoader(
+        train_set, batch_size=profile.batch_size, shuffle=True, rng=rng
+    )
+    test_loader = DataLoader(test_set, batch_size=profile.batch_size, shuffle=False)
+    subset_size = min(profile.gbo_subset, len(train_set))
+    gbo_subset = Subset(train_set, list(range(subset_size)))
+    gbo_loader = DataLoader(
+        gbo_subset, batch_size=profile.batch_size, shuffle=True, rng=rng.spawn()
+    )
+    return train_loader, test_loader, gbo_loader
+
+
+def build_model(profile: ExperimentProfile):
+    """Instantiate the profile's network with the profile's quantisation setup."""
+    rng = RandomState(profile.seed + 2)
+    if profile.model == "vgg9":
+        config = VGGConfig(
+            num_classes=profile.num_classes,
+            image_size=profile.image_size,
+            width_multiplier=profile.width_multiplier,
+            activation_levels=profile.activation_levels,
+            sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+        )
+        return VGG9(config, rng=rng)
+    if profile.model == "lenet":
+        return CrossbarLeNet(
+            num_classes=profile.num_classes,
+            image_size=profile.image_size,
+            activation_levels=profile.activation_levels,
+            sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+            rng=rng,
+        )
+    if profile.model == "mlp":
+        in_features = 3 * profile.image_size * profile.image_size
+        return CrossbarMLP(
+            in_features=in_features,
+            hidden_sizes=(96, 96, 96),
+            num_classes=profile.num_classes,
+            activation_levels=profile.activation_levels,
+            sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+            rng=rng,
+        )
+    raise ValueError(f"unknown model kind {profile.model!r} in profile {profile.name!r}")
+
+
+def _checkpoint_path(profile: ExperimentProfile) -> str:
+    token = (
+        f"{profile.name}_{profile.model}_w{profile.width_multiplier}_s{profile.image_size}"
+        f"_n{profile.num_train}_e{profile.pretrain_epochs}_seed{profile.seed}"
+    )
+    return os.path.join(CACHE_DIR, f"pretrained_{token}.npz")
+
+
+def get_pretrained_bundle(
+    profile: Optional[ExperimentProfile] = None,
+    use_disk_cache: bool = True,
+    force_retrain: bool = False,
+) -> ExperimentBundle:
+    """Return a pre-trained model plus its data loaders for ``profile``.
+
+    Results are memoised per profile name in-process; the pre-trained weights
+    are additionally cached on disk so repeated benchmark invocations skip
+    the expensive pre-training stage.
+    """
+    profile = profile or get_profile()
+    cache_key = profile.name
+    if not force_retrain and cache_key in _BUNDLE_CACHE:
+        return _BUNDLE_CACHE[cache_key]
+
+    seed_everything(profile.seed)
+    train_loader, test_loader, gbo_loader = build_loaders(profile)
+    model = build_model(profile)
+
+    checkpoint = _checkpoint_path(profile)
+    loaded = False
+    if use_disk_cache and not force_retrain and os.path.exists(checkpoint):
+        try:
+            load_checkpoint(checkpoint, model)
+            loaded = True
+            LOGGER.info("loaded pre-trained weights from %s", checkpoint)
+        except (KeyError, ValueError) as error:
+            LOGGER.warning("ignoring stale checkpoint %s (%s)", checkpoint, error)
+
+    if not loaded:
+        LOGGER.info(
+            "pre-training %s model for profile %r (%d epochs)",
+            profile.model,
+            profile.name,
+            profile.pretrain_epochs,
+        )
+        pretrain_model(
+            model,
+            train_loader,
+            val_loader=None,
+            config=PretrainConfig(
+                epochs=profile.pretrain_epochs, learning_rate=profile.pretrain_lr
+            ),
+        )
+        if use_disk_cache:
+            save_checkpoint(checkpoint, model, metadata={"profile": profile.name})
+
+    model.set_mode("clean")
+    clean_accuracy = evaluate_accuracy(model, test_loader)
+    LOGGER.info("clean accuracy for profile %r: %.2f%%", profile.name, clean_accuracy)
+
+    bundle = ExperimentBundle(
+        profile=profile,
+        model=model,
+        train_loader=train_loader,
+        test_loader=test_loader,
+        gbo_loader=gbo_loader,
+        clean_accuracy=clean_accuracy,
+    )
+    _BUNDLE_CACHE[cache_key] = bundle
+    return bundle
+
+
+def clear_bundle_cache() -> None:
+    """Drop all in-process cached bundles (used by tests)."""
+    _BUNDLE_CACHE.clear()

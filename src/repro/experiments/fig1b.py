@@ -1,0 +1,97 @@
+"""Experiment E1 — Fig. 1(b): encoding noise variance versus bit width.
+
+Reproduces the analytic curves of Fig. 1(b) (normalised noise variance of
+bit slicing vs thermometer coding as the number of information bits grows)
+and cross-checks a few points with a Monte-Carlo simulation of the actual
+crossbar + encoder stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.crossbar.analysis import (
+    bit_slicing_noise_variance,
+    monte_carlo_noise_variance,
+    noise_variance_table,
+    thermometer_noise_variance,
+)
+from repro.crossbar.encoding import BitSlicingEncoder, ThermometerEncoder
+from repro.tensor.random import RandomState
+
+
+@dataclass
+class Fig1bResult:
+    """Analytic series plus Monte-Carlo spot checks."""
+
+    bits: List[float]
+    bit_slicing: List[float]
+    thermometer: List[float]
+    monte_carlo: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows suitable for tabular printing."""
+        rows = []
+        for index, bit in enumerate(self.bits):
+            rows.append(
+                {
+                    "bits": bit,
+                    "bit_slicing": self.bit_slicing[index],
+                    "thermometer": self.thermometer[index],
+                }
+            )
+        return rows
+
+    def format_table(self) -> str:
+        """Human-readable rendering of the figure's series."""
+        lines = ["bits | bit-slicing var (norm) | thermometer var (norm)"]
+        for row in self.as_rows():
+            lines.append(
+                f"{int(row['bits']):4d} | {row['bit_slicing']:22.4f} | {row['thermometer']:21.4f}"
+            )
+        return "\n".join(lines)
+
+
+def run_fig1b(
+    bit_range: Sequence[int] = range(1, 9),
+    monte_carlo_bits: Sequence[int] = (2, 3),
+    sigma: float = 1.0,
+    num_trials: int = 200,
+    seed: int = 0,
+) -> Fig1bResult:
+    """Compute the Fig. 1(b) series and Monte-Carlo validation points.
+
+    Parameters
+    ----------
+    bit_range:
+        Information bit widths to evaluate (the paper plots 1..8).
+    monte_carlo_bits:
+        Bit widths at which to empirically validate the formulas with the
+        full crossbar + encoder simulation (kept small: thermometer coding
+        at ``b`` bits needs ``2^b - 1`` simulated pulses per MVM).
+    sigma:
+        Per-pulse noise standard deviation.
+    num_trials:
+        Monte-Carlo trials per validation point.
+    """
+    table = noise_variance_table(bit_range=bit_range, normalise=True)
+    result = Fig1bResult(
+        bits=table["bits"],
+        bit_slicing=table["bit_slicing"],
+        thermometer=table["thermometer"],
+    )
+    rng = RandomState(seed)
+    baseline = bit_slicing_noise_variance(1, sigma=sigma)
+    monte_carlo: Dict[str, Dict[int, float]] = {"bit_slicing": {}, "thermometer": {}}
+    for bits in monte_carlo_bits:
+        slicing_var = monte_carlo_noise_variance(
+            BitSlicingEncoder(bits), sigma=sigma, num_trials=num_trials, rng=rng
+        )
+        thermo_var = monte_carlo_noise_variance(
+            ThermometerEncoder(2**bits - 1), sigma=sigma, num_trials=num_trials, rng=rng
+        )
+        monte_carlo["bit_slicing"][int(bits)] = slicing_var / baseline
+        monte_carlo["thermometer"][int(bits)] = thermo_var / baseline
+    result.monte_carlo = monte_carlo
+    return result

@@ -1,0 +1,78 @@
+"""Experiment E2 — Fig. 2: layer-wise noise sensitivity.
+
+Injects Gaussian crossbar noise into one encoded layer at a time of the
+pre-trained network and records the resulting accuracy, reproducing the
+heterogeneous sensitivity profile that motivates per-layer pulse lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.noise_sensitivity import LayerSensitivity, layer_noise_sensitivity
+from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
+from repro.experiments.profiles import ExperimentProfile
+
+
+@dataclass
+class Fig2Result:
+    """Per-layer accuracies with single-layer noise injection."""
+
+    sigma: float
+    clean_accuracy: float
+    sensitivities: List[LayerSensitivity]
+
+    def accuracy_by_layer(self) -> List[float]:
+        """Accuracies in layer order (excluding the clean reference entry)."""
+        return [entry.accuracy for entry in self.sensitivities if entry.layer_index >= 0]
+
+    def most_sensitive_layer(self) -> LayerSensitivity:
+        """The layer whose noise hurts accuracy the most."""
+        noisy_entries = [entry for entry in self.sensitivities if entry.layer_index >= 0]
+        return min(noisy_entries, key=lambda entry: entry.accuracy)
+
+    def format_table(self) -> str:
+        """Human-readable rendering of the figure's series."""
+        lines = [f"clean accuracy: {self.clean_accuracy:.2f}%  (sigma={self.sigma})"]
+        lines.append("target layer | accuracy (%)")
+        for entry in self.sensitivities:
+            if entry.layer_index < 0:
+                continue
+            lines.append(f"{entry.layer_name:>12} | {entry.accuracy:10.2f}")
+        return "\n".join(lines)
+
+
+def run_fig2(
+    profile: Optional[ExperimentProfile] = None,
+    bundle: Optional[ExperimentBundle] = None,
+    sigma: Optional[float] = None,
+) -> Fig2Result:
+    """Run the layer-wise sensitivity analysis on the pre-trained model.
+
+    Parameters
+    ----------
+    profile:
+        Experiment profile (ignored when an explicit ``bundle`` is passed).
+    bundle:
+        Reuse an already pre-trained bundle (the benchmark harness shares one
+        bundle across all experiments).
+    sigma:
+        Noise level for the injected layer; defaults to the middle entry of
+        the profile's sigma sweep, matching the "moderate noise" setting of
+        the paper's Fig. 2.
+    """
+    bundle = bundle or get_pretrained_bundle(profile)
+    profile = bundle.profile
+    sigma = sigma if sigma is not None else profile.sigmas[len(profile.sigmas) // 2]
+    sensitivities = layer_noise_sensitivity(
+        bundle.model,
+        bundle.test_loader,
+        sigma=sigma,
+        pulses=profile.base_pulses,
+        sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+        include_clean=False,
+    )
+    return Fig2Result(
+        sigma=sigma, clean_accuracy=bundle.clean_accuracy, sensitivities=sensitivities
+    )

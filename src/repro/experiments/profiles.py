@@ -1,0 +1,116 @@
+"""Experiment profiles: how large a model/dataset each run uses.
+
+The paper's setup (full-width VGG9, CIFAR-10, 60 pre-training epochs on a
+GPU) is far beyond what a pure-numpy CPU backend can train in minutes, so
+three profiles are provided:
+
+``smoke``
+    Tiny MLP on small synthetic images — seconds; used by the test-suite.
+``fast``
+    Reduced-width VGG9 on 16x16 synthetic images — minutes; the default for
+    the benchmark harness.  Preserves every structural element of the
+    paper's setup (7 encoded layers, 9-level activations, binary weights,
+    three noise regimes).
+``paper``
+    Full-width VGG9 on 32x32 images with the paper's epoch counts.  Provided
+    for completeness and documentation; running it on this backend would
+    take days.
+
+The active profile for benchmarks can be overridden with the environment
+variable ``REPRO_PROFILE``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scale and hyper-parameter bundle for one experiment configuration."""
+
+    name: str
+    model: str = "vgg9"  # "vgg9" | "lenet" | "mlp"
+    width_multiplier: float = 0.125
+    image_size: int = 16
+    num_classes: int = 10
+    num_train: int = 1536
+    num_test: int = 512
+    batch_size: int = 64
+    pretrain_epochs: int = 10
+    pretrain_lr: float = 2e-2
+    gbo_epochs: int = 4
+    gbo_lr: float = 5e-2
+    gbo_subset: int = 768
+    nia_epochs: int = 2
+    nia_lr: float = 3e-3
+    sigmas: Tuple[float, ...] = (5.0, 9.0, 12.0)
+    paper_sigmas: Tuple[float, ...] = (10.0, 15.0, 20.0)
+    gamma_short: float = 3e-3
+    gamma_long: float = 5e-4
+    activation_levels: int = 9
+    noise_relative_to_fan_in: bool = False
+    eval_repeats: int = 1
+    seed: int = 2022
+
+    @property
+    def base_pulses(self) -> int:
+        """Baseline thermometer pulse count implied by the activation levels."""
+        return self.activation_levels - 1
+
+    def with_overrides(self, **kwargs) -> "ExperimentProfile":
+        """Return a copy of the profile with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+PROFILES: Dict[str, ExperimentProfile] = {
+    "smoke": ExperimentProfile(
+        name="smoke",
+        model="mlp",
+        image_size=8,
+        num_train=256,
+        num_test=128,
+        batch_size=32,
+        pretrain_epochs=3,
+        pretrain_lr=1e-2,
+        gbo_epochs=2,
+        gbo_subset=128,
+        nia_epochs=1,
+        sigmas=(4.0, 6.0, 8.0),
+        eval_repeats=1,
+    ),
+    "fast": ExperimentProfile(name="fast"),
+    "paper": ExperimentProfile(
+        name="paper",
+        width_multiplier=1.0,
+        image_size=32,
+        num_train=50_000,
+        num_test=10_000,
+        batch_size=128,
+        pretrain_epochs=60,
+        pretrain_lr=1e-3,
+        gbo_epochs=10,
+        gbo_lr=1e-4,
+        gbo_subset=50_000,
+        nia_epochs=10,
+        sigmas=(10.0, 15.0, 20.0),
+    ),
+}
+
+
+def get_profile(name: str | None = None) -> ExperimentProfile:
+    """Look up a profile by name.
+
+    When ``name`` is ``None``, the ``REPRO_PROFILE`` environment variable is
+    consulted and defaults to ``"fast"``.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_PROFILE", "fast")
+    try:
+        return PROFILES[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown profile {name!r}; available profiles: {sorted(PROFILES)}"
+        ) from error

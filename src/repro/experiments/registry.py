@@ -1,0 +1,91 @@
+"""Registry mapping experiment identifiers to their drivers.
+
+Provides a single place where the per-table/figure index of DESIGN.md is
+expressed in code; the benchmark harness and the examples iterate over this
+registry so nothing falls out of sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import ablations
+from repro.experiments.fig1b import run_fig1b
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Description of one reproducible experiment."""
+
+    identifier: str
+    paper_reference: str
+    description: str
+    runner: Callable
+    benchmark: str
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "fig1b": ExperimentSpec(
+        identifier="fig1b",
+        paper_reference="Figure 1(b)",
+        description="Noise variance of bit slicing vs thermometer coding versus bit width",
+        runner=run_fig1b,
+        benchmark="benchmarks/test_bench_fig1b_noise_variance.py",
+    ),
+    "fig2": ExperimentSpec(
+        identifier="fig2",
+        paper_reference="Figure 2",
+        description="Layer-wise noise sensitivity of the pre-trained VGG9",
+        runner=run_fig2,
+        benchmark="benchmarks/test_bench_fig2_sensitivity.py",
+    ),
+    "table1": ExperimentSpec(
+        identifier="table1",
+        paper_reference="Table I",
+        description="Baseline / PLA-n / GBO accuracy under three noise levels",
+        runner=run_table1,
+        benchmark="benchmarks/test_bench_table1_gbo.py",
+    ),
+    "table2": ExperimentSpec(
+        identifier="table2",
+        paper_reference="Table II",
+        description="Synergy of GBO with noise-injection adaptation (NIA)",
+        runner=run_table2,
+        benchmark="benchmarks/test_bench_table2_nia_synergy.py",
+    ),
+    "ablation_encoding": ExperimentSpec(
+        identifier="ablation_encoding",
+        paper_reference="Section II-B (ablation A1)",
+        description="End-to-end accuracy of thermometer vs bit-slicing encodings",
+        runner=ablations.run_encoding_ablation,
+        benchmark="benchmarks/test_bench_ablation_encoding.py",
+    ),
+    "ablation_pla_error": ExperimentSpec(
+        identifier="ablation_pla_error",
+        paper_reference="Section III-B (ablation A2)",
+        description="PLA approximation error versus pulse count and rounding mode",
+        runner=ablations.run_pla_error_ablation,
+        benchmark="benchmarks/test_bench_ablation_pla_error.py",
+    ),
+    "ablation_gamma": ExperimentSpec(
+        identifier="ablation_gamma",
+        paper_reference="Eq. 6 (ablation A3)",
+        description="Latency/accuracy trade-off as the GBO gamma is swept",
+        runner=ablations.run_gamma_tradeoff,
+        benchmark="benchmarks/test_bench_ablation_gamma.py",
+    ),
+}
+
+
+def describe_experiments() -> str:
+    """Human-readable index of all registered experiments."""
+    lines = ["id                | paper ref            | benchmark"]
+    for spec in EXPERIMENTS.values():
+        lines.append(
+            f"{spec.identifier:<17} | {spec.paper_reference:<20} | {spec.benchmark}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Markdown report generation for experiment results.
+
+Turns the result dataclasses of the experiment drivers into the markdown
+tables used by ``EXPERIMENTS.md``, so the documented numbers can be
+regenerated mechanically from a benchmark run instead of being copied by
+hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.fig1b import Fig1bResult
+from repro.experiments.fig2 import Fig2Result
+from repro.experiments.table1 import PAPER_CLEAN_ACCURACY, Table1Result
+from repro.experiments.table2 import Table2Result
+
+
+def _markdown_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value: Optional[float], digits: int = 2) -> str:
+    return "-" if value is None else f"{value:.{digits}f}"
+
+
+def fig1b_markdown(result: Fig1bResult) -> str:
+    """Markdown table of the Fig. 1(b) noise-variance series."""
+    rows = [
+        (int(bits), f"{slicing:.4f}", f"{thermometer:.4f}")
+        for bits, slicing, thermometer in zip(result.bits, result.bit_slicing, result.thermometer)
+    ]
+    return _markdown_table(["bits", "bit slicing (norm. var)", "thermometer (norm. var)"], rows)
+
+
+def fig2_markdown(result: Fig2Result) -> str:
+    """Markdown table of the layer-wise sensitivity analysis."""
+    rows = [
+        (entry.layer_name, _fmt(entry.accuracy))
+        for entry in result.sensitivities
+        if entry.layer_index >= 0
+    ]
+    table = _markdown_table(["target layer", "accuracy %"], rows)
+    return (
+        f"Clean accuracy: {result.clean_accuracy:.2f} % — noise sigma {result.sigma} "
+        f"injected into one layer at a time.\n\n{table}"
+    )
+
+
+def table1_markdown(result: Table1Result) -> str:
+    """Markdown table of the reproduced Table I with paper reference columns."""
+    rows = []
+    for row in result.rows:
+        rows.append(
+            (
+                row.method,
+                _fmt(row.sigma, 1),
+                _fmt(row.paper_sigma, 0),
+                _fmt(row.average_pulses),
+                _fmt(row.accuracy),
+                _fmt(row.paper_accuracy),
+                _fmt(row.paper_average_pulses),
+                str(row.schedule),
+            )
+        )
+    table = _markdown_table(
+        [
+            "method",
+            "sigma (ours)",
+            "sigma (paper)",
+            "avg pulses",
+            "accuracy %",
+            "paper acc %",
+            "paper avg pulses",
+            "schedule",
+        ],
+        rows,
+    )
+    return (
+        f"Clean accuracy: {result.clean_accuracy:.2f} % "
+        f"(paper: {PAPER_CLEAN_ACCURACY} %).\n\n{table}"
+    )
+
+
+def table2_markdown(result: Table2Result) -> str:
+    """Markdown table of the reproduced Table II with paper reference columns."""
+    rows = []
+    for row in result.rows:
+        rows.append(
+            (
+                row.method,
+                _fmt(row.sigma, 1),
+                _fmt(row.paper_sigma, 0),
+                _fmt(row.average_pulses),
+                _fmt(row.accuracy),
+                _fmt(row.paper_accuracy),
+            )
+        )
+    table = _markdown_table(
+        ["method", "sigma (ours)", "sigma (paper)", "avg pulses", "accuracy %", "paper acc %"],
+        rows,
+    )
+    return f"Clean accuracy: {result.clean_accuracy:.2f} %.\n\n{table}"
+
+
+def full_report(
+    fig1b: Optional[Fig1bResult] = None,
+    fig2: Optional[Fig2Result] = None,
+    table1: Optional[Table1Result] = None,
+    table2: Optional[Table2Result] = None,
+    title: str = "Reproduction report",
+) -> str:
+    """Assemble a complete markdown report from whichever results are given."""
+    sections: List[str] = [f"# {title}"]
+    if fig1b is not None:
+        sections.append("## Fig. 1(b) — encoding noise variance\n\n" + fig1b_markdown(fig1b))
+    if fig2 is not None:
+        sections.append("## Fig. 2 — layer-wise noise sensitivity\n\n" + fig2_markdown(fig2))
+    if table1 is not None:
+        sections.append("## Table I — Baseline / PLA / GBO\n\n" + table1_markdown(table1))
+    if table2 is not None:
+        sections.append("## Table II — synergy with NIA\n\n" + table2_markdown(table2))
+    return "\n\n".join(sections) + "\n"
+
+
+def write_report(path: str, **results) -> str:
+    """Write :func:`full_report` to ``path`` and return the rendered text."""
+    text = full_report(**results)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,231 @@
+"""Experiment E4 — Table II: synergy between GBO and noise-aware training.
+
+Methods compared at every noise level (paper Table II):
+
+* ``Baseline`` — pre-trained weights, 8-pulse encoding;
+* ``NIA`` — weights fine-tuned with injected crossbar noise, 8 pulses;
+* ``GBO`` — pre-trained weights, GBO-optimised pulse schedule;
+* ``NIA+GBO`` — GBO schedule learned on top of the NIA-fine-tuned weights;
+* ``NIA+PLA`` — NIA weights with a uniform 10-pulse schedule.
+
+The expected shape (paper): NIA alone recovers most of the loss, GBO alone
+helps less than NIA at high noise, and NIA+GBO is the best configuration at
+every noise level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.gbo import GBOConfig, GBOTrainer
+from repro.core.nia import NIAConfig, NIATrainer
+from repro.core.schedule import PulseSchedule
+from repro.core.search_space import PulseScalingSpace
+from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
+from repro.experiments.profiles import ExperimentProfile
+from repro.training.evaluate import noisy_accuracy
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("repro.table2")
+
+#: Paper-reported Table II values: (method, paper_sigma) -> (accuracy %, avg pulses).
+PAPER_TABLE2: Dict[Tuple[str, float], Tuple[float, float]] = {
+    ("Baseline", 10.0): (83.94, 8.0),
+    ("NIA", 10.0): (88.35, 8.0),
+    ("GBO", 10.0): (86.36, 9.71),
+    ("NIA+GBO", 10.0): (88.93, 9.71),
+    ("NIA+PLA", 10.0): (88.91, 10.0),
+    ("Baseline", 15.0): (62.27, 8.0),
+    ("NIA", 15.0): (84.84, 8.0),
+    ("GBO", 15.0): (76.35, 10.21),
+    ("NIA+GBO", 15.0): (86.45, 10.24),
+    ("NIA+PLA", 15.0): (85.17, 10.0),
+    ("Baseline", 20.0): (31.46, 8.0),
+    ("NIA", 20.0): (78.78, 8.0),
+    ("GBO", 20.0): (46.33, 10.28),
+    ("NIA+GBO", 20.0): (81.33, 10.28),
+    ("NIA+PLA", 20.0): (80.29, 10.0),
+}
+
+
+@dataclass
+class Table2Row:
+    """One row of the reproduced Table II."""
+
+    method: str
+    sigma: float
+    paper_sigma: Optional[float]
+    accuracy: float
+    average_pulses: float
+    schedule: List[int]
+    paper_accuracy: Optional[float] = None
+    paper_average_pulses: Optional[float] = None
+
+
+@dataclass
+class Table2Result:
+    """All rows of the reproduced Table II."""
+
+    clean_accuracy: float
+    rows: List[Table2Row] = field(default_factory=list)
+
+    def row(self, method: str, sigma: float) -> Table2Row:
+        """Look up a single row by method name and noise level."""
+        for candidate in self.rows:
+            if candidate.method == method and candidate.sigma == sigma:
+                return candidate
+        raise KeyError(f"no row for method={method!r} sigma={sigma}")
+
+    def rows_for_sigma(self, sigma: float) -> List[Table2Row]:
+        """Rows belonging to one noise level."""
+        return [row for row in self.rows if row.sigma == sigma]
+
+    def format_table(self) -> str:
+        """Human-readable rendering mirroring the paper's Table II layout."""
+        header = (
+            f"{'method':<10} {'sigma':>6} {'avg pulses':>11} {'accuracy %':>11} "
+            f"{'paper acc %':>12}"
+        )
+        lines = [f"clean accuracy: {self.clean_accuracy:.2f}%", header]
+        for row in self.rows:
+            paper_acc = f"{row.paper_accuracy:.2f}" if row.paper_accuracy is not None else "-"
+            lines.append(
+                f"{row.method:<10} {row.sigma:>6.1f} {row.average_pulses:>11.2f} "
+                f"{row.accuracy:>11.2f} {paper_acc:>12}"
+            )
+        return "\n".join(lines)
+
+
+def _paper_reference(method: str, paper_sigma: Optional[float]) -> Tuple[Optional[float], Optional[float]]:
+    if paper_sigma is None:
+        return None, None
+    entry = PAPER_TABLE2.get((method, paper_sigma))
+    if entry is None:
+        return None, None
+    return entry
+
+
+def run_table2(
+    profile: Optional[ExperimentProfile] = None,
+    bundle: Optional[ExperimentBundle] = None,
+    sigmas: Optional[Sequence[float]] = None,
+    nia_pla_pulses: int = 10,
+    gbo_gamma: Optional[float] = None,
+) -> Table2Result:
+    """Reproduce Table II on the profile's pre-trained model.
+
+    Every method starts from the same pre-trained weights (restored between
+    methods), mirroring the paper's protocol.
+
+    Parameters
+    ----------
+    gbo_gamma:
+        Latency weight used for the GBO and NIA+GBO rows.  Defaults to a
+        fifth of the profile's ``gamma_long``: after NIA fine-tuning the loss
+        is far less sensitive to the injected noise, so a gamma tuned for the
+        pre-trained model would let the latency term dominate and collapse
+        the schedule to the shortest pulses.  The paper's Table II likewise
+        reports GBO at its accuracy-leaning operating point.
+    """
+    bundle = bundle or get_pretrained_bundle(profile)
+    profile = bundle.profile
+    model = bundle.model
+    sigmas = list(sigmas if sigmas is not None else profile.sigmas)
+    num_layers = model.num_encoded_layers()
+    space = PulseScalingSpace(base_pulses=profile.base_pulses)
+    pretrained_state = bundle.pretrained_state()
+    gbo_gamma = gbo_gamma if gbo_gamma is not None else profile.gamma_long * 0.2
+
+    result = Table2Result(clean_accuracy=bundle.clean_accuracy)
+
+    def evaluate(schedule: PulseSchedule, sigma: float) -> float:
+        return noisy_accuracy(
+            model,
+            bundle.test_loader,
+            sigma=sigma,
+            schedule=schedule,
+            sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+            num_repeats=profile.eval_repeats,
+        )
+
+    def run_gbo(sigma: float) -> "PulseSchedule":
+        model.set_noise(sigma, relative_to_fan_in=profile.noise_relative_to_fan_in)
+        trainer = GBOTrainer(
+            model,
+            GBOConfig(
+                space=space,
+                gamma=gbo_gamma,
+                learning_rate=profile.gbo_lr,
+                epochs=profile.gbo_epochs,
+            ),
+        )
+        gbo_result = trainer.train(bundle.gbo_loader)
+        model.requires_grad_(True)
+        return gbo_result.schedule
+
+    def add_row(method: str, sigma: float, paper_sigma, schedule: PulseSchedule, accuracy: float) -> None:
+        paper_accuracy, paper_pulses = _paper_reference(method, paper_sigma)
+        result.rows.append(
+            Table2Row(
+                method=method,
+                sigma=sigma,
+                paper_sigma=paper_sigma,
+                accuracy=accuracy,
+                average_pulses=schedule.average_pulses,
+                schedule=schedule.as_list(),
+                paper_accuracy=paper_accuracy,
+                paper_average_pulses=paper_pulses,
+            )
+        )
+        LOGGER.info(
+            "table2 sigma=%.2f %s: acc=%.2f%% avg_pulses=%.2f",
+            sigma,
+            method,
+            accuracy,
+            schedule.average_pulses,
+        )
+
+    baseline_schedule = PulseSchedule.uniform(num_layers, profile.base_pulses)
+    nia_pla_schedule = PulseSchedule.uniform(num_layers, nia_pla_pulses)
+
+    for sigma_index, sigma in enumerate(sigmas):
+        paper_sigma = (
+            profile.paper_sigmas[sigma_index]
+            if sigma_index < len(profile.paper_sigmas)
+            else None
+        )
+
+        # Baseline: pre-trained weights, 8 pulses everywhere.
+        bundle.restore(pretrained_state)
+        add_row("Baseline", sigma, paper_sigma, baseline_schedule, evaluate(baseline_schedule, sigma))
+
+        # GBO on the pre-trained weights.
+        bundle.restore(pretrained_state)
+        gbo_schedule = run_gbo(sigma)
+        add_row("GBO", sigma, paper_sigma, gbo_schedule, evaluate(gbo_schedule, sigma))
+
+        # NIA fine-tuning (weights adapt to the injected noise).
+        bundle.restore(pretrained_state)
+        nia_config = NIAConfig(
+            sigma=sigma,
+            epochs=profile.nia_epochs,
+            learning_rate=profile.nia_lr,
+            pulses=profile.base_pulses,
+            sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+        )
+        NIATrainer(model, nia_config).train(bundle.train_loader)
+        nia_state = model.state_dict()
+        add_row("NIA", sigma, paper_sigma, baseline_schedule, evaluate(baseline_schedule, sigma))
+
+        # NIA + GBO: learn the schedule on top of the NIA weights.
+        model.load_state_dict(nia_state)
+        nia_gbo_schedule = run_gbo(sigma)
+        add_row("NIA+GBO", sigma, paper_sigma, nia_gbo_schedule, evaluate(nia_gbo_schedule, sigma))
+
+        # NIA + PLA: NIA weights with a uniform longer schedule.
+        model.load_state_dict(nia_state)
+        add_row("NIA+PLA", sigma, paper_sigma, nia_pla_schedule, evaluate(nia_pla_schedule, sigma))
+
+    bundle.restore(pretrained_state)
+    return result

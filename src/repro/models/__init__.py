@@ -1,0 +1,13 @@
+"""Network architectures used by the reproduction.
+
+:class:`VGG9` is the paper's evaluation architecture (Section IV-A); the
+smaller :class:`CrossbarMLP` and :class:`CrossbarLeNet` are used by tests,
+examples and quick experiments where a full VGG forward pass would be
+unnecessarily slow on a pure-numpy backend.
+"""
+
+from repro.models.vgg import VGG9, VGGConfig
+from repro.models.mlp import CrossbarMLP
+from repro.models.lenet import CrossbarLeNet
+
+__all__ = ["VGG9", "VGGConfig", "CrossbarMLP", "CrossbarLeNet"]

@@ -1,0 +1,34 @@
+"""Dropout regularisation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+from repro.tensor.random import RandomState, default_rng
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    Each element is zeroed with probability ``p`` and the survivors are
+    scaled by ``1 / (1 - p)`` so the expected activation is unchanged.
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[RandomState] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep_prob = 1.0 - self.p
+        mask = self._rng.bernoulli(keep_prob, x.shape) / keep_prob
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,35 @@
+"""Functional interface for the layer library.
+
+Re-exports the tensor-level functional operations so user code can write
+``from repro.nn import functional as F`` in the familiar style.
+"""
+
+from repro.tensor.functional import (
+    avg_pool2d,
+    col2im,
+    conv_output_size,
+    cross_entropy,
+    global_avg_pool2d,
+    im2col,
+    im2col_tensor,
+    log_softmax,
+    max_pool2d,
+    nll_loss,
+    one_hot,
+    softmax,
+)
+
+__all__ = [
+    "avg_pool2d",
+    "col2im",
+    "conv_output_size",
+    "cross_entropy",
+    "global_avg_pool2d",
+    "im2col",
+    "im2col_tensor",
+    "log_softmax",
+    "max_pool2d",
+    "nll_loss",
+    "one_hot",
+    "softmax",
+]

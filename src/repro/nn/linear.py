@@ -1,0 +1,56 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.tensor.random import RandomState
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features:
+        Size of each input sample.
+    out_features:
+        Size of each output sample.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Optional random state for reproducible initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[RandomState] = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((out_features, in_features), rng=rng), name="weight"
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the affine map to a ``(batch, in_features)`` input."""
+        out = x.matmul(self.weight.transpose())
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

@@ -1,0 +1,41 @@
+"""Loss functions used for pre-training, NIA fine-tuning and GBO training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy against integer class targets (mean reduction)."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets)
+
+    def __repr__(self) -> str:
+        return "CrossEntropyLoss()"
+
+
+class NLLLoss(Module):
+    """Negative log-likelihood for inputs that are already log-probabilities."""
+
+    def forward(self, log_probs: Tensor, targets: np.ndarray) -> Tensor:
+        return F.nll_loss(log_probs, targets)
+
+    def __repr__(self) -> str:
+        return "NLLLoss()"
+
+
+class MSELoss(Module):
+    """Mean squared error between a prediction and a target tensor."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        target_t = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target_t
+        return (diff * diff).mean()
+
+    def __repr__(self) -> str:
+        return "MSELoss()"

@@ -1,0 +1,206 @@
+"""Module and Parameter base classes.
+
+:class:`Module` provides the composition, parameter registration, train/eval
+mode and state-dict machinery that the rest of the layer library relies on.
+The API intentionally mirrors the familiar ``torch.nn.Module`` surface so
+the reproduction code reads like the paper's original PyTorch implementation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module.
+
+    Unlike ordinary tensors, a parameter's ``requires_grad`` flag is honoured
+    even when it is constructed inside a ``no_grad()`` block, so models can
+    be built anywhere and still be trainable afterwards.
+    """
+
+    def __init__(self, data, requires_grad: bool = True, name: str = ""):
+        super().__init__(data, requires_grad=requires_grad, name=name)
+        self.requires_grad = bool(requires_grad)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses implement :meth:`forward`; parameters and sub-modules assigned
+    as attributes are registered automatically and become visible through
+    :meth:`parameters`, :meth:`named_parameters` and :meth:`state_dict`.
+    """
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. BN running stats)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def register_parameter(self, name: str, param: Parameter) -> None:
+        """Explicitly register a parameter under ``name``."""
+        self._parameters[name] = param
+        object.__setattr__(self, name, param)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Explicitly register a child module under ``name``."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    def _update_buffer(self, name: str, value: np.ndarray) -> None:
+        """Replace the contents of a registered buffer."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError(f"{type(self).__name__} must implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Parameter iteration
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """List of all parameters of this module and its children."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Iterate ``(qualified_name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield (prefix + name, param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=prefix + child_name + ".")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Iterate ``(qualified_name, buffer)`` pairs recursively."""
+        for name, buffer in self._buffers.items():
+            yield (prefix + name, buffer)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=prefix + child_name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        """Iterate over this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Iterate ``(qualified_name, module)`` pairs recursively."""
+        yield prefix.rstrip("."), self
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=prefix + child_name + ".")
+
+    def children(self) -> Iterator["Module"]:
+        """Iterate over the immediate child modules."""
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode and gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Switch this module and all children to training mode."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module and all children to evaluation mode."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Reset gradients of all parameters."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def requires_grad_(self, requires_grad: bool = True) -> "Module":
+        """Enable or disable gradients for every parameter."""
+        for param in self.parameters():
+            param.requires_grad = requires_grad
+        return self
+
+    def freeze(self) -> "Module":
+        """Convenience alias for ``requires_grad_(False)``.
+
+        The GBO training stage of the paper freezes network weights and
+        optimises only the bit-encoding logits; this helper makes that
+        explicit at call sites.
+        """
+        return self.requires_grad_(False)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of qualified names to copies of parameter/buffer data."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[name] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter and buffer values from a :meth:`state_dict` mapping."""
+        own_params = dict(self.named_parameters())
+        missing: List[str] = []
+        for name, param in own_params.items():
+            if name in state:
+                if param.data.shape != np.asarray(state[name]).shape:
+                    raise ValueError(
+                        f"shape mismatch for parameter {name!r}: "
+                        f"{param.data.shape} vs {np.asarray(state[name]).shape}"
+                    )
+                np.copyto(param.data, state[name])
+            else:
+                missing.append(name)
+        # Buffers must be loaded module-by-module so that the attribute alias
+        # stays in sync with the registered array.
+        for module_name, module in self.named_modules():
+            for buffer_name in list(module._buffers.keys()):
+                qualified = f"{module_name}.{buffer_name}" if module_name else buffer_name
+                if qualified in state:
+                    module._update_buffer(buffer_name, state[qualified])
+                else:
+                    missing.append(qualified)
+        unexpected = [k for k in state if k not in self.state_dict()]
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"load_state_dict mismatch; missing={missing}, unexpected={unexpected}"
+            )
+
+    def __repr__(self) -> str:
+        child_lines = [f"  ({name}): {module!r}" for name, module in self._modules.items()]
+        header = type(self).__name__
+        if not child_lines:
+            return f"{header}()"
+        body = "\n".join(child_lines).replace("\n", "\n  ")
+        return f"{header}(\n  {body}\n)"

@@ -1,0 +1,31 @@
+"""Optimiser base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.tensor import Tensor
+
+
+class Optimizer:
+    """Base class holding the parameter list and the current learning rate."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float):
+        self.parameters: List[Tensor] = [p for p in parameters]
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update step; implemented by subclasses."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(lr={self.lr}, n_params={len(self.parameters)})"

@@ -1,0 +1,50 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+from repro.tensor import Tensor
+
+
+class SGD(Optimizer):
+    """SGD with classical (heavy-ball) momentum and L2 weight decay.
+
+    Matches the pre-training configuration of the paper: momentum 0.9 and
+    weight decay 5e-4 (Section IV-A).
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one SGD update to every parameter with a gradient."""
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update

@@ -1,0 +1,28 @@
+"""Quantisation substrate: binary weights and multi-level activations.
+
+The paper maps Binary-Weight Neural Networks (BWNNs) onto binary memristive
+crossbars: weights are constrained to {-1, +1} (BinaryConnect-style sign
+quantisation with a straight-through estimator) and activations are bounded
+by Tanh and quantised to 9 levels, which are then streamed as 8 thermometer
+pulses (Section II-A / IV-A).
+"""
+
+from repro.quant.binary import binarize, BinaryWeightQuantizer
+from repro.quant.activation import (
+    quantize_uniform,
+    levels_to_pulses,
+    pulses_to_levels,
+    ActivationQuantizer,
+)
+from repro.quant.qat import QuantConv2d, QuantLinear
+
+__all__ = [
+    "binarize",
+    "BinaryWeightQuantizer",
+    "quantize_uniform",
+    "levels_to_pulses",
+    "pulses_to_levels",
+    "ActivationQuantizer",
+    "QuantConv2d",
+    "QuantLinear",
+]

@@ -1,0 +1,81 @@
+"""Multi-level activation quantisation in ``[-1, 1]``.
+
+The paper quantises activations to 9 levels during pre-training
+(Section IV-A); a 9-level value in ``[-1, 1]`` maps exactly onto an 8-pulse
+thermometer code (the number of +1 pulses among the 8 equals the level
+index).  The quantiser uses a straight-through estimator so it can be active
+during pre-training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+def quantize_uniform(x: Tensor, levels: int = 9) -> Tensor:
+    """Quantise a ``[-1, 1]`` tensor to ``levels`` uniformly spaced values.
+
+    Values outside ``[-1, 1]`` are clipped first.  Gradients pass through
+    the quantiser unchanged (STE), but respect the clip.
+    """
+    if levels < 2:
+        raise ValueError(f"levels must be at least 2, got {levels}")
+    clipped = x.clip(-1.0, 1.0)
+    steps = levels - 1
+    quantised = np.round((clipped.data + 1.0) * 0.5 * steps) / steps * 2.0 - 1.0
+    return clipped.with_data(quantised)
+
+
+def levels_to_pulses(values: np.ndarray, num_pulses: int) -> np.ndarray:
+    """Convert quantised ``[-1, 1]`` values to the count of positive pulses.
+
+    With ``num_pulses`` thermometer pulses, a value ``v`` is represented by
+    ``k`` pulses at +1 and ``num_pulses - k`` at -1 where
+    ``k = round((v + 1) / 2 * num_pulses)``.
+    """
+    if num_pulses < 1:
+        raise ValueError(f"num_pulses must be positive, got {num_pulses}")
+    counts = np.round((np.asarray(values) + 1.0) * 0.5 * num_pulses)
+    return np.clip(counts, 0, num_pulses).astype(np.int64)
+
+
+def pulses_to_levels(positive_counts: np.ndarray, num_pulses: int) -> np.ndarray:
+    """Convert positive-pulse counts back to the represented ``[-1, 1]`` value."""
+    counts = np.asarray(positive_counts, dtype=np.float64)
+    return 2.0 * counts / float(num_pulses) - 1.0
+
+
+class ActivationQuantizer(Module):
+    """Module form of :func:`quantize_uniform`.
+
+    Parameters
+    ----------
+    levels:
+        Number of quantisation levels (the paper uses 9).
+    enabled:
+        When ``False`` the module is an identity; used to compare quantised
+        and full-precision baselines.
+    """
+
+    def __init__(self, levels: int = 9, enabled: bool = True):
+        super().__init__()
+        if levels < 2:
+            raise ValueError(f"levels must be at least 2, got {levels}")
+        self.levels = levels
+        self.enabled = enabled
+
+    @property
+    def base_pulses(self) -> int:
+        """Thermometer pulse count that exactly represents ``levels`` levels."""
+        return self.levels - 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.enabled:
+            return x
+        return quantize_uniform(x, levels=self.levels)
+
+    def __repr__(self) -> str:
+        return f"ActivationQuantizer(levels={self.levels}, enabled={self.enabled})"

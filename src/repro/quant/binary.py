@@ -1,0 +1,66 @@
+"""Binary weight quantisation with a straight-through estimator.
+
+Implements BinaryConnect-style quantisation [Courbariaux et al., 2015] as
+used by the paper: the forward pass sees ``sign(w)`` (optionally scaled by
+the mean absolute weight per output neuron) while the backward pass treats
+the quantiser as the identity so full-precision shadow weights keep
+receiving gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+ScaleMode = Literal["none", "mean"]
+
+
+def binary_sign(data: np.ndarray) -> np.ndarray:
+    """Deterministic sign with ties mapped to +1 (a zero weight would leave a
+    crossbar cell unprogrammed, which binary NVM devices cannot represent)."""
+    out = np.sign(data)
+    out[out == 0] = 1.0
+    return out
+
+
+def binarize(weight: Tensor, scale_mode: ScaleMode = "none") -> Tensor:
+    """Return a binarised view of ``weight`` with STE gradients.
+
+    Parameters
+    ----------
+    weight:
+        Full-precision weight tensor (2-D for linear, 4-D for conv).
+    scale_mode:
+        ``"none"`` produces strict {-1, +1} values (the paper's setting,
+        required for a binary crossbar); ``"mean"`` additionally scales each
+        output neuron's row by its mean absolute weight (XNOR-style), which
+        is useful for ablations but requires a per-column analog scale.
+    """
+    signs = binary_sign(weight.data)
+    if scale_mode == "mean":
+        reduce_axes = tuple(range(1, weight.ndim))
+        scale = np.abs(weight.data).mean(axis=reduce_axes, keepdims=True)
+        quantised = signs * scale
+    elif scale_mode == "none":
+        quantised = signs
+    else:
+        raise ValueError(f"unknown scale_mode {scale_mode!r}")
+    return weight.with_data(quantised)
+
+
+class BinaryWeightQuantizer:
+    """Callable object wrapping :func:`binarize` with a fixed configuration."""
+
+    def __init__(self, scale_mode: ScaleMode = "none"):
+        if scale_mode not in ("none", "mean"):
+            raise ValueError(f"unknown scale_mode {scale_mode!r}")
+        self.scale_mode = scale_mode
+
+    def __call__(self, weight: Tensor) -> Tensor:
+        return binarize(weight, scale_mode=self.scale_mode)
+
+    def __repr__(self) -> str:
+        return f"BinaryWeightQuantizer(scale_mode={self.scale_mode!r})"

@@ -1,0 +1,29 @@
+"""Reverse-mode automatic differentiation engine on top of numpy.
+
+This subpackage is the lowest-level substrate of the reproduction: a small
+but complete autograd system providing the :class:`~repro.tensor.Tensor`
+class, a library of differentiable operations, numerical gradient checking,
+and seeded random-number helpers.
+
+The design mirrors the user-facing semantics of mainstream frameworks
+(a ``Tensor`` carries ``data``, ``grad`` and ``requires_grad``; operations
+build a computation graph; ``backward()`` runs reverse-mode accumulation)
+while staying pure numpy so the whole reproduction runs offline on a CPU.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor.grad_check import numerical_gradient, check_gradients
+from repro.tensor.random import RandomState, default_rng, manual_seed
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "numerical_gradient",
+    "check_gradients",
+    "RandomState",
+    "default_rng",
+    "manual_seed",
+]

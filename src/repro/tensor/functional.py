@@ -1,0 +1,184 @@
+"""Functional operations built on :class:`~repro.tensor.Tensor` primitives.
+
+These helpers compose the primitive differentiable operations into the
+higher-level functions used by the layer library: numerically stable softmax
+and log-softmax, cross-entropy, im2col/col2im for convolutions, and pooling
+window extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    logsum = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - logsum
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer class ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(batch, classes)``.
+    targets:
+        Integer array of shape ``(batch,)`` with class indices.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"cross_entropy expects 2-D logits, got shape {logits.shape}")
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+        )
+    log_probs = log_softmax(logits, axis=1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -(picked.mean())
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log-likelihood from already-log-softmaxed inputs."""
+    targets = np.asarray(targets, dtype=np.int64)
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -(picked.mean())
+
+
+def one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer class indices to a one-hot float matrix."""
+    targets = np.asarray(targets, dtype=np.int64)
+    out = np.zeros((targets.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(targets.shape[0]), targets] = 1.0
+    return out
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im for convolution
+# ---------------------------------------------------------------------------
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _im2col_indices(
+    shape: Tuple[int, int, int, int], kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index arrays mapping an NCHW image to its column representation."""
+    _, channels, height, width = shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+
+    i0 = np.repeat(np.arange(kernel), kernel)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel), kernel * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
+    return k, i, j
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Rearrange image patches into columns (pure numpy, no gradient).
+
+    Returns an array of shape ``(C*K*K, N*out_h*out_w)``.
+    """
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    k, i, j = _im2col_indices(x.shape, kernel, stride, 0)
+    cols = x[:, k, i, j]
+    channels = x.shape[1]
+    return cols.transpose(1, 2, 0).reshape(kernel * kernel * channels, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`, scatter-adding columns back to an image."""
+    batch, channels, height, width = shape
+    padded_h, padded_w = height + 2 * padding, width + 2 * padding
+    padded = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
+    k, i, j = _im2col_indices((batch, channels, padded_h, padded_w), kernel, stride, 0)
+    cols_reshaped = cols.reshape(channels * kernel * kernel, -1, batch).transpose(2, 0, 1)
+    np.add.at(padded, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def im2col_tensor(x: Tensor, kernel: int, stride: int, padding: int) -> Tensor:
+    """Differentiable im2col built on the numpy kernels above.
+
+    The backward pass uses :func:`col2im` to scatter gradients back to the
+    input image.
+    """
+    input_shape = x.shape
+    cols = im2col(x.data, kernel, stride, padding)
+    out = x._make_output(cols, (x,))
+
+    def _backward(grad: np.ndarray) -> None:
+        x._accumulate(col2im(grad, input_shape, kernel, stride, padding))
+
+    out._backward_fn = _backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Pooling helpers
+# ---------------------------------------------------------------------------
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """2-D max pooling over an NCHW tensor.
+
+    Implemented with :func:`im2col_tensor` followed by a differentiable max
+    over the window axis, so the gradient routes to the argmax location.
+    """
+    stride = kernel if stride is None else stride
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+    # Treat each channel independently so the max is over spatial window only.
+    reshaped = x.reshape(batch * channels, 1, height, width)
+    cols = im2col_tensor(reshaped, kernel, stride, 0)  # (K*K, out_h*out_w*N*C)
+    pooled = cols.max(axis=0)
+    # Columns are spatial-major: index = (oh*out_w + ow) * (N*C) + nc.
+    out = pooled.reshape(out_h, out_w, batch, channels).transpose(2, 3, 0, 1)
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """2-D average pooling over an NCHW tensor."""
+    stride = kernel if stride is None else stride
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, 0)
+    out_w = conv_output_size(width, kernel, stride, 0)
+    reshaped = x.reshape(batch * channels, 1, height, width)
+    cols = im2col_tensor(reshaped, kernel, stride, 0)
+    pooled = cols.mean(axis=0)
+    # Columns are spatial-major: index = (oh*out_w + ow) * (N*C) + nc.
+    return pooled.reshape(out_h, out_w, batch, channels).transpose(2, 3, 0, 1)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions of an NCHW tensor."""
+    return x.mean(axis=(2, 3))

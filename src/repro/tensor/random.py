@@ -1,0 +1,76 @@
+"""Seeded random number generation shared across the library.
+
+Every stochastic component of the reproduction (weight initialisation,
+data shuffling, crossbar noise sampling, synthetic data generation) draws
+from an explicit :class:`RandomState` or from the module-level default
+generator seeded via :func:`manual_seed`, so all experiments are exactly
+repeatable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ShapeLike = Union[int, Tuple[int, ...], Sequence[int]]
+
+
+class RandomState:
+    """Thin wrapper around ``numpy.random.Generator`` with a stable API."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def seed(self) -> Optional[int]:
+        """Seed this generator was created with (``None`` if unseeded)."""
+        return self._seed
+
+    def reseed(self, seed: int) -> None:
+        """Reset the generator to a new seed."""
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size: Optional[ShapeLike] = None) -> np.ndarray:
+        """Gaussian samples."""
+        return self._rng.normal(loc=loc, scale=scale, size=size)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size: Optional[ShapeLike] = None) -> np.ndarray:
+        """Uniform samples in ``[low, high)``."""
+        return self._rng.uniform(low=low, high=high, size=size)
+
+    def randint(self, low: int, high: int, size: Optional[ShapeLike] = None) -> np.ndarray:
+        """Integer samples in ``[low, high)``."""
+        return self._rng.integers(low=low, high=high, size=size)
+
+    def permutation(self, n: int) -> np.ndarray:
+        """Random permutation of ``range(n)``."""
+        return self._rng.permutation(n)
+
+    def choice(self, options, size: Optional[ShapeLike] = None, replace: bool = True, p=None):
+        """Random choice from ``options``."""
+        return self._rng.choice(options, size=size, replace=replace, p=p)
+
+    def bernoulli(self, p: float, size: ShapeLike) -> np.ndarray:
+        """Bernoulli(p) samples as floats in {0, 1}."""
+        return (self._rng.uniform(size=size) < p).astype(np.float64)
+
+    def spawn(self) -> "RandomState":
+        """Derive an independent child generator (deterministic given parent)."""
+        child_seed = int(self._rng.integers(0, 2**31 - 1))
+        return RandomState(child_seed)
+
+
+_DEFAULT = RandomState(0)
+
+
+def default_rng() -> RandomState:
+    """Return the library-wide default random state."""
+    return _DEFAULT
+
+
+def manual_seed(seed: int) -> None:
+    """Reseed the library-wide default random state."""
+    _DEFAULT.reseed(seed)

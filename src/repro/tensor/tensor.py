@@ -1,0 +1,702 @@
+"""Core :class:`Tensor` class implementing reverse-mode autodiff.
+
+A ``Tensor`` wraps a ``numpy.ndarray`` and records the operations applied to
+it in a directed acyclic graph.  Calling :meth:`Tensor.backward` on a scalar
+result propagates gradients to every ancestor created with
+``requires_grad=True``.
+
+Only the operations needed by the reproduction are implemented, but the set
+is complete enough to express convolutional networks with batch
+normalisation, pooling, quantisation with straight-through estimators, and
+the GBO objective of the paper.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Number = Union[int, float]
+ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` if gradient recording is currently enabled."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Inside a ``with no_grad():`` block all operations behave as pure numpy
+    computations; the results have ``requires_grad=False`` and no backward
+    functions are recorded.  Used throughout evaluation and inference paths.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape`` after broadcasting.
+
+    Numpy broadcasting expands singleton or missing dimensions during the
+    forward pass; the corresponding backward pass must therefore sum the
+    gradient over every expanded axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``numpy.ndarray`` of floats.
+    requires_grad:
+        If ``True`` the tensor participates in gradient computation and its
+        ``grad`` attribute is populated by :meth:`backward`.
+    name:
+        Optional label used in debugging and error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward_fn_store", "_parents")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.name = name
+        self._backward_fn_store: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    @property
+    def _backward_fn(self) -> Optional[Callable[[np.ndarray], None]]:
+        """Backward function of the op that produced this tensor (if any)."""
+        return self._backward_fn_store
+
+    @_backward_fn.setter
+    def _backward_fn(self, fn: Optional[Callable[[np.ndarray], None]]) -> None:
+        # Operations assign their backward closure unconditionally; drop it
+        # when the output does not participate in the graph (e.g. inside a
+        # ``no_grad()`` block) so no gradients can leak through.
+        if self.requires_grad:
+            self._backward_fn_store = fn
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        """Return a tensor of zeros with the given shape."""
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        """Return a tensor of ones with the given shape."""
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def full(shape: Sequence[int], fill_value: Number, requires_grad: bool = False) -> "Tensor":
+        """Return a tensor filled with ``fill_value``."""
+        return Tensor(np.full(shape, float(fill_value)), requires_grad=requires_grad)
+
+    @staticmethod
+    def eye(n: int, requires_grad: bool = False) -> "Tensor":
+        """Return the ``n x n`` identity matrix."""
+        return Tensor(np.eye(n), requires_grad=requires_grad)
+
+    @staticmethod
+    def from_numpy(array: np.ndarray, requires_grad: bool = False) -> "Tensor":
+        """Wrap an existing numpy array (copied to float64)."""
+        return Tensor(np.asarray(array, dtype=np.float64), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Numpy dtype of the underlying array."""
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        """Transpose of a 2-D tensor (alias for :meth:`transpose`)."""
+        return self.transpose()
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (not a copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        """Return a copy of this tensor that participates in the graph."""
+        out = self._make_output(self.data.copy(), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+
+        out._backward_fn = _backward
+        return out
+
+    def copy_(self, other: "Tensor") -> "Tensor":
+        """In-place copy of ``other``'s data (no graph recording)."""
+        np.copyto(self.data, other.data if isinstance(other, Tensor) else np.asarray(other))
+        return self
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad_part = ", requires_grad=True" if self.requires_grad else ""
+        name_part = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_part}{name_part})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph utilities
+    # ------------------------------------------------------------------
+    def _make_output(self, data: np.ndarray, parents: Tuple["Tensor", ...]) -> "Tensor":
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode accumulation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.  May
+            be omitted only for scalar tensors, in which case it defaults
+            to 1.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient is only valid for "
+                    f"scalar tensors, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        ordered = self._topological_order()
+        grads = {id(self): np.array(grad, dtype=np.float64)}
+        self._accumulate(grads[id(self)])
+        for node in ordered:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None or node._backward_fn is None:
+                continue
+            node._backward_fn(node_grad)
+            # After calling the backward fn, the parents have accumulated into
+            # their .grad; pull the newly-contributed piece for propagation.
+            for parent in node._parents:
+                if parent.requires_grad and parent.grad is not None:
+                    grads[id(parent)] = parent.grad
+
+    def _topological_order(self) -> List["Tensor"]:
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_output(self.data + other_t.data, (self, other_t))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other_t._accumulate(_unbroadcast(grad, other_t.shape))
+
+        out._backward_fn = _backward
+        return out
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_output(-self.data, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        out._backward_fn = _backward
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_output(self.data - other_t.data, (self, other_t))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other_t._accumulate(_unbroadcast(-grad, other_t.shape))
+
+        out._backward_fn = _backward
+        return out
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_output(self.data * other_t.data, (self, other_t))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other_t.data, self.shape))
+            other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
+
+        out._backward_fn = _backward
+        return out
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_output(self.data / other_t.data, (self, other_t))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other_t.data, self.shape))
+            other_t._accumulate(
+                _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape)
+            )
+
+        out._backward_fn = _backward
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: Number) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = self._make_output(self.data ** exponent, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        out._backward_fn = _backward
+        return out
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return self.matmul(other)
+
+    # Comparisons yield plain boolean numpy arrays (no gradients).
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product supporting 2-D inputs and batched left operands."""
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_output(self.data @ other_t.data, (self, other_t))
+
+        def _backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                grad_self = grad @ np.swapaxes(other_t.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other_t.requires_grad:
+                grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other_t._accumulate(_unbroadcast(grad_other, other_t.shape))
+
+        out._backward_fn = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        value = np.exp(self.data)
+        out = self._make_output(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * value)
+
+        out._backward_fn = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        out = self._make_output(np.log(self.data), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        out._backward_fn = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        value = np.sqrt(self.data)
+        out = self._make_output(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / value)
+
+        out._backward_fn = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        value = np.tanh(self.data)
+        out = self._make_output(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - value ** 2))
+
+        out._backward_fn = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid."""
+        value = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_output(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * value * (1.0 - value))
+
+        out._backward_fn = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        """Elementwise rectified linear unit."""
+        mask = self.data > 0
+        out = self._make_output(self.data * mask, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        out._backward_fn = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (subgradient 0 at zero)."""
+        out = self._make_output(np.abs(self.data), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * np.sign(self.data))
+
+        out._backward_fn = _backward
+        return out
+
+    def clip(self, low: Number, high: Number) -> "Tensor":
+        """Clamp values into ``[low, high]``; gradient is zero outside."""
+        mask = (self.data >= low) & (self.data <= high)
+        out = self._make_output(np.clip(self.data, low, high), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        out._backward_fn = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Sum of elements over the given axis (or all elements)."""
+        value = self.data.sum(axis=axis, keepdims=keepdims)
+        out = self._make_output(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+
+        out._backward_fn = _backward
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over the given axis (or all elements)."""
+        value = self.data.mean(axis=axis, keepdims=keepdims)
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        out = self._make_output(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(expanded, self.shape).copy() / count)
+
+        out._backward_fn = _backward
+        return out
+
+    def var(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Population variance over the given axis, built from primitives."""
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        squared = centered * centered
+        return squared.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Maximum over an axis; gradient flows to (the first) argmax."""
+        value = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make_output(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if axis is None:
+                mask = (self.data == self.data.max()).astype(np.float64)
+                mask /= mask.sum()
+                self._accumulate(grad * mask)
+                return
+            expanded_value = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded_value).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            expanded = grad if keepdims else np.expand_dims(grad, axis=axis)
+            self._accumulate(mask * expanded)
+
+        out._backward_fn = _backward
+        return out
+
+    def min(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Minimum over an axis; gradient flows to (the first) argmin."""
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def argmax(self, axis: Optional[int] = None) -> np.ndarray:
+        """Index of the maximum (no gradient)."""
+        return self.data.argmax(axis=axis)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        """Return a reshaped view of the tensor."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        out = self._make_output(self.data.reshape(shape), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        out._backward_fn = _backward
+        return out
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        """Flatten dimensions from ``start_dim`` onwards."""
+        new_shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(*new_shape)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes (default: reverse all axes)."""
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        axes_tuple = axes if axes else tuple(reversed(range(self.ndim)))
+        out = self._make_output(self.data.transpose(axes_tuple), (self,))
+        inverse = np.argsort(axes_tuple)
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        out._backward_fn = _backward
+        return out
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        """Insert a new axis of size one."""
+        out = self._make_output(np.expand_dims(self.data, axis), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(np.squeeze(grad, axis=axis))
+
+        out._backward_fn = _backward
+        return out
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        """Remove axes of size one."""
+        original_shape = self.shape
+        out = self._make_output(np.squeeze(self.data, axis=axis), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        out._backward_fn = _backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make_output(self.data[index], (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        out._backward_fn = _backward
+        return out
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two (spatial) dimensions of an NCHW tensor."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding), (padding, padding)]
+        out = self._make_output(np.pad(self.data, pad_width), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            slices = tuple(
+                slice(None) if before == 0 else slice(before, -after if after else None)
+                for before, after in pad_width
+            )
+            self._accumulate(grad[slices])
+
+        out._backward_fn = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Stack tensors along a new axis."""
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(tensors)
+
+            def _backward(grad: np.ndarray) -> None:
+                pieces = np.split(grad, len(tensors), axis=axis)
+                for tensor, piece in zip(tensors, pieces):
+                    tensor._accumulate(np.squeeze(piece, axis=axis))
+
+            out._backward_fn = _backward
+        return out
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Concatenate tensors along an existing axis."""
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(tensors)
+            sizes = [t.shape[axis] for t in tensors]
+            boundaries = np.cumsum(sizes)[:-1]
+
+            def _backward(grad: np.ndarray) -> None:
+                pieces = np.split(grad, boundaries, axis=axis)
+                for tensor, piece in zip(tensors, pieces):
+                    tensor._accumulate(piece)
+
+            out._backward_fn = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Straight-through helpers used by the quantisation substrate
+    # ------------------------------------------------------------------
+    def with_data(self, new_data: np.ndarray) -> "Tensor":
+        """Return a tensor whose forward value is ``new_data`` but whose
+        backward pass behaves as the identity on ``self``.
+
+        This is the straight-through estimator (STE) primitive used by the
+        binary-weight and multi-level activation quantisers: the forward pass
+        sees the quantised values while gradients flow through unchanged.
+        """
+        new_data = np.asarray(new_data, dtype=np.float64)
+        if new_data.shape != self.shape:
+            raise ValueError(
+                f"with_data expects matching shapes, got {new_data.shape} vs {self.shape}"
+            )
+        out = self._make_output(new_data, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+
+        out._backward_fn = _backward
+        return out

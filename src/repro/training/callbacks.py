@@ -1,0 +1,83 @@
+"""Training callbacks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Callback:
+    """Base callback: hooks called by :class:`~repro.training.trainer.Trainer`."""
+
+    def on_epoch_start(self, epoch: int, trainer) -> None:
+        """Called before each epoch."""
+
+    def on_epoch_end(self, epoch: int, logs: Dict[str, float], trainer) -> None:
+        """Called after each epoch with the epoch's aggregated metrics."""
+
+    def on_step_end(self, step: int, logs: Dict[str, float], trainer) -> None:
+        """Called after each optimisation step."""
+
+    @property
+    def should_stop(self) -> bool:
+        """Return True to request early termination of training."""
+        return False
+
+
+class HistoryRecorder(Callback):
+    """Records epoch-level metrics into :attr:`history`."""
+
+    def __init__(self):
+        self.history: List[Dict[str, float]] = []
+
+    def on_epoch_end(self, epoch: int, logs: Dict[str, float], trainer) -> None:
+        record = {"epoch": float(epoch)}
+        record.update(logs)
+        self.history.append(record)
+
+
+class EarlyStopping(Callback):
+    """Stops training when a monitored metric stops improving.
+
+    Parameters
+    ----------
+    monitor:
+        Key of the epoch metric to watch (e.g. ``"val_accuracy"``).
+    patience:
+        Number of epochs without improvement tolerated before stopping.
+    mode:
+        ``"max"`` if larger is better, ``"min"`` otherwise.
+    min_delta:
+        Minimum change counting as an improvement.
+    """
+
+    def __init__(self, monitor: str = "val_accuracy", patience: int = 5, mode: str = "max", min_delta: float = 0.0):
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.monitor = monitor
+        self.patience = patience
+        self.mode = mode
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.stale_epochs = 0
+        self._stop = False
+
+    def on_epoch_end(self, epoch: int, logs: Dict[str, float], trainer) -> None:
+        value = logs.get(self.monitor)
+        if value is None:
+            return
+        improved = (
+            self.best is None
+            or (self.mode == "max" and value > self.best + self.min_delta)
+            or (self.mode == "min" and value < self.best - self.min_delta)
+        )
+        if improved:
+            self.best = value
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+            if self.stale_epochs >= self.patience:
+                self._stop = True
+
+    @property
+    def should_stop(self) -> bool:
+        return self._stop

@@ -1,0 +1,18 @@
+"""Model checkpointing built on the ``.npz`` serialization utilities."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.utils.serialization import load_state, save_state
+
+
+def save_checkpoint(path: str, model, metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Persist a model's parameters and buffers to ``path`` (``.npz``)."""
+    save_state(path, model.state_dict(), metadata=metadata)
+
+
+def load_checkpoint(path: str, model, strict: bool = True) -> None:
+    """Restore a model's parameters and buffers from a saved checkpoint."""
+    state = load_state(path)
+    model.load_state_dict(state, strict=strict)

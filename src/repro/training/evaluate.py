@@ -1,0 +1,79 @@
+"""Model evaluation helpers (clean and noisy crossbar inference)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.schedule import PulseSchedule
+from repro.tensor import Tensor, no_grad
+from repro.tensor import functional as F
+from repro.training.metrics import AverageMeter, accuracy_from_logits
+
+
+def evaluate_accuracy(model, loader) -> float:
+    """Top-1 accuracy (percent) of ``model`` over ``loader``.
+
+    The model is switched to eval mode and no computation graph is recorded.
+    The encoded layers keep whatever forward mode (clean / noisy) they were
+    configured with, so this function serves both clean and noisy evaluation.
+    """
+    was_training = model.training
+    model.eval()
+    meter = AverageMeter("accuracy")
+    with no_grad():
+        for inputs, targets in loader:
+            logits = model(Tensor(inputs))
+            meter.update(accuracy_from_logits(logits, targets), weight=len(targets))
+    if was_training:
+        model.train()
+    return meter.average
+
+
+def evaluate_loss(model, loader) -> float:
+    """Mean cross-entropy of ``model`` over ``loader``."""
+    was_training = model.training
+    model.eval()
+    meter = AverageMeter("loss")
+    with no_grad():
+        for inputs, targets in loader:
+            logits = model(Tensor(inputs))
+            loss = F.cross_entropy(logits, targets)
+            meter.update(float(loss.data), weight=len(targets))
+    if was_training:
+        model.train()
+    return meter.average
+
+
+def noisy_accuracy(
+    model,
+    loader,
+    sigma: float,
+    schedule: Optional[PulseSchedule] = None,
+    sigma_relative_to_fan_in: Optional[bool] = None,
+    num_repeats: int = 1,
+) -> float:
+    """Accuracy under crossbar noise with an optional per-layer pulse schedule.
+
+    Parameters
+    ----------
+    model:
+        Model exposing ``encoded_layers()`` / ``set_schedule`` / ``set_noise``.
+    sigma:
+        Per-pulse crossbar noise level.
+    schedule:
+        Pulse counts per encoded layer; defaults to whatever is currently
+        configured on the model.
+    num_repeats:
+        Number of independent noisy evaluations to average (noise is random,
+        so repeated evaluation reduces the variance of the estimate).
+    """
+    if num_repeats < 1:
+        raise ValueError(f"num_repeats must be positive, got {num_repeats}")
+    model.set_mode("noisy")
+    model.set_noise(sigma, relative_to_fan_in=sigma_relative_to_fan_in)
+    if schedule is not None:
+        model.set_schedule(schedule)
+    accuracies = [evaluate_accuracy(model, loader) for _ in range(num_repeats)]
+    return float(np.mean(accuracies))

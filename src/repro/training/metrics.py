@@ -1,0 +1,56 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def accuracy_from_logits(logits, targets: np.ndarray) -> float:
+    """Top-1 accuracy in percent from logits and integer targets."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets = np.asarray(targets)
+    predictions = data.argmax(axis=1)
+    return float((predictions == targets).mean() * 100.0)
+
+
+def confusion_matrix(predictions: np.ndarray, targets: np.ndarray, num_classes: Optional[int] = None) -> np.ndarray:
+    """Confusion matrix with rows = true class, columns = predicted class."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    if num_classes is None:
+        num_classes = int(max(predictions.max(initial=0), targets.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix
+
+
+class AverageMeter:
+    """Tracks a running weighted average of a scalar quantity."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the accumulated statistics."""
+        self.total = 0.0
+        self.count = 0.0
+
+    def update(self, value: float, weight: float = 1.0) -> None:
+        """Add ``value`` with the given weight."""
+        self.total += float(value) * weight
+        self.count += weight
+
+    @property
+    def average(self) -> float:
+        """Current weighted average (0 if nothing was recorded)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"AverageMeter(name={self.name!r}, average={self.average:.4f}, count={self.count})"

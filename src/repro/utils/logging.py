@@ -1,0 +1,18 @@
+"""Lightweight logging configuration."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger writing concise single-line records."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stdout)
+        handler.setFormatter(logging.Formatter("[%(levelname)s %(name)s] %(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,20 @@
+"""Global seeding helper."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.tensor.random import manual_seed
+
+
+def seed_everything(seed: int) -> None:
+    """Seed Python's ``random``, numpy's legacy RNG and the library RNG.
+
+    Called at the start of every experiment and benchmark so results are
+    bit-for-bit reproducible across runs.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2**32 - 1))
+    manual_seed(seed)

@@ -1,0 +1,31 @@
+"""Model / experiment state persistence using numpy's ``.npz`` format."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+
+def save_state(path: str, arrays: Mapping[str, np.ndarray], metadata: Dict[str, Any] | None = None) -> None:
+    """Save a mapping of named arrays plus optional JSON metadata.
+
+    The arrays go into ``<path>`` (``.npz``); metadata, if provided, goes to
+    ``<path>.meta.json`` alongside it.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **{key: np.asarray(value) for key, value in arrays.items()})
+    if metadata is not None:
+        with open(path + ".meta.json", "w", encoding="utf-8") as handle:
+            json.dump(metadata, handle, indent=2, sort_keys=True)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Load a mapping of named arrays previously written by :func:`save_state`."""
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    with np.load(path) as payload:
+        return {key: payload[key].copy() for key in payload.files}

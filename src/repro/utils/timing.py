@@ -1,0 +1,46 @@
+"""Timing helpers used by the training loop and benchmarks."""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self.start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - (self.start or time.perf_counter())
+
+
+def timed(fn: Callable[..., T]) -> Callable[..., T]:
+    """Decorator that attaches the last call duration as ``fn.last_elapsed``."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs) -> T:
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        wrapper.last_elapsed = time.perf_counter() - start
+        return result
+
+    wrapper.last_elapsed = 0.0
+    return wrapper

@@ -1,0 +1,93 @@
+"""Tests for the sensitivity-guided heuristic pulse-selection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import PulseScalingSpace, sensitivity_guided_schedule
+from repro.core.noise_sensitivity import LayerSensitivity
+from repro.data import DataLoader, TensorDataset
+from repro.models import CrossbarMLP
+from repro.tensor.random import RandomState
+
+
+@pytest.fixture
+def model():
+    return CrossbarMLP(24, hidden_sizes=(16, 16, 16), num_classes=4, rng=RandomState(0))
+
+
+@pytest.fixture
+def loader(rng):
+    inputs = np.tanh(rng.normal(size=(64, 24)))
+    labels = rng.randint(0, 4, size=64)
+    return DataLoader(TensorDataset(inputs, labels), batch_size=32)
+
+
+def _sensitivities(accuracies):
+    return [
+        LayerSensitivity(layer_index=i, layer_name=f"enc{i}", accuracy=a)
+        for i, a in enumerate(accuracies)
+    ]
+
+
+class TestSensitivityGuidedSchedule:
+    def test_respects_average_pulse_budget(self, model, loader):
+        result = sensitivity_guided_schedule(
+            model, loader, sigma=3.0, budget_average_pulses=10.0,
+            sensitivities=_sensitivities([50.0, 70.0, 80.0]),
+        )
+        assert result.average_pulses <= 10.0 + 1e-9
+        assert len(result.schedule) == 3
+
+    def test_most_sensitive_layer_gets_most_pulses(self, model, loader):
+        result = sensitivity_guided_schedule(
+            model, loader, sigma=3.0, budget_average_pulses=10.0,
+            sensitivities=_sensitivities([40.0, 80.0, 80.0]),
+        )
+        pulses = result.schedule.as_list()
+        assert pulses[0] == max(pulses)
+        assert pulses[0] > min(pulses)
+
+    def test_equal_sensitivity_gives_balanced_allocation(self, model, loader):
+        result = sensitivity_guided_schedule(
+            model, loader, sigma=3.0, budget_average_pulses=12.0,
+            sensitivities=_sensitivities([60.0, 60.0, 60.0]),
+        )
+        pulses = result.schedule.as_list()
+        assert max(pulses) - min(pulses) <= 2
+
+    def test_generous_budget_saturates_at_longest_candidate(self, model, loader):
+        space = PulseScalingSpace()
+        result = sensitivity_guided_schedule(
+            model, loader, sigma=3.0, budget_average_pulses=100.0, space=space,
+            sensitivities=_sensitivities([10.0, 50.0, 90.0]),
+        )
+        assert result.schedule.as_list() == [max(space.pulse_counts)] * 3
+
+    def test_schedule_members_live_in_search_space(self, model, loader):
+        space = PulseScalingSpace()
+        result = sensitivity_guided_schedule(
+            model, loader, sigma=3.0, budget_average_pulses=9.0, space=space,
+            sensitivities=_sensitivities([30.0, 60.0, 90.0]),
+        )
+        assert all(p in space.pulse_counts for p in result.schedule)
+
+    def test_measures_sensitivities_when_not_supplied(self, model, loader):
+        result = sensitivity_guided_schedule(model, loader, sigma=5.0, budget_average_pulses=8.0)
+        assert len(result.sensitivities) == model.num_encoded_layers()
+        assert result.budget_average_pulses == pytest.approx(8.0)
+
+    def test_validation(self, model, loader):
+        with pytest.raises(ValueError):
+            sensitivity_guided_schedule(model, loader, sigma=1.0, budget_average_pulses=1.0)
+        with pytest.raises(ValueError):
+            sensitivity_guided_schedule(
+                model, loader, sigma=1.0, budget_average_pulses=10.0,
+                sensitivities=_sensitivities([50.0, 60.0]),
+            )
+
+        class NoEncoded:
+            def encoded_layers(self):
+                return []
+
+        with pytest.raises(ValueError):
+            sensitivity_guided_schedule(NoEncoded(), loader, sigma=1.0, budget_average_pulses=10.0)

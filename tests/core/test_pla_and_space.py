@@ -1,0 +1,140 @@
+"""Tests for the pulse scaling space, PLA and pulse schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PulseLengthApproximation,
+    PulseScalingSpace,
+    PulseSchedule,
+    pla_approximate,
+    pla_approximation_error,
+)
+from repro.core.pla import pla_positive_counts
+
+
+class TestPulseScalingSpace:
+    def test_paper_default_pulse_lengths(self):
+        space = PulseScalingSpace()
+        assert space.pulse_counts == [4, 6, 8, 10, 12, 14, 16]
+        assert space.num_options == 7
+        assert space.base_pulses == 8
+
+    def test_pulses_for_and_iteration(self):
+        space = PulseScalingSpace()
+        assert space.pulses_for(0) == 4
+        assert list(space) == space.pulse_counts
+
+    def test_index_of_baseline(self):
+        assert PulseScalingSpace().index_of_baseline() == 2
+        custom = PulseScalingSpace(scaling_factors=(0.5, 1.4, 2.0))
+        # No exact 1.0 factor: nearest to 8 pulses is 11 (factor 1.4) -> index 1.
+        assert custom.index_of_baseline() == 1
+
+    def test_custom_base_pulses(self):
+        space = PulseScalingSpace(scaling_factors=(1.0, 2.0), base_pulses=4)
+        assert space.pulse_counts == [4, 8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PulseScalingSpace(scaling_factors=())
+        with pytest.raises(ValueError):
+            PulseScalingSpace(scaling_factors=(0.5, -1.0))
+        with pytest.raises(ValueError):
+            PulseScalingSpace(base_pulses=0)
+
+    def test_describe(self):
+        assert "base_pulses=8" in PulseScalingSpace().describe()
+
+
+class TestPulseSchedule:
+    def test_uniform(self):
+        schedule = PulseSchedule.uniform(7, 8)
+        assert schedule.as_list() == [8] * 7
+        assert schedule.average_pulses == pytest.approx(8.0)
+        assert schedule.total_pulses == 56
+
+    def test_heterogeneous_average(self):
+        schedule = PulseSchedule([10, 10, 8, 10, 10, 4, 6])
+        assert schedule.average_pulses == pytest.approx(8.2857, rel=1e-3)
+        assert len(schedule) == 7
+        assert schedule[2] == 8
+
+    def test_iteration_and_describe(self):
+        schedule = PulseSchedule([4, 8])
+        assert list(schedule) == [4, 8]
+        assert "avg" in schedule.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PulseSchedule([])
+        with pytest.raises(ValueError):
+            PulseSchedule([8, 0])
+
+    def test_immutable(self):
+        schedule = PulseSchedule([8, 8])
+        with pytest.raises(Exception):
+            schedule.pulses = (4, 4)
+
+
+class TestPLA:
+    def test_exact_when_pulse_count_matches_levels(self):
+        grid = np.linspace(-1, 1, 9)
+        assert np.allclose(pla_approximate(grid, num_pulses=8), grid)
+        assert np.allclose(pla_approximate(grid, num_pulses=16), grid)
+
+    def test_rounds_toward_extremes(self):
+        # 0.75 with 10 pulses: exact count 8.75 -> ceil to 9 -> 0.8 (towards +1)
+        assert pla_approximate(np.array([0.75]), 10)[0] == pytest.approx(0.8)
+        # -0.75 with 10 pulses: exact count 1.25 -> floor to 1 -> -0.8 (towards -1)
+        assert pla_approximate(np.array([-0.75]), 10)[0] == pytest.approx(-0.8)
+
+    def test_nearest_mode_rounds_to_closest(self):
+        # 0.75 with 10 pulses, nearest: count 9 (8.75 -> 9) -> 0.8 as well;
+        # use 0.25 where the two modes differ: exact count 6.25.
+        toward = pla_approximate(np.array([0.25]), 10, mode="toward_extremes")[0]
+        nearest = pla_approximate(np.array([0.25]), 10, mode="nearest")[0]
+        assert toward == pytest.approx(0.4)   # ceil(6.25) = 7 -> 0.4
+        assert nearest == pytest.approx(0.2)  # round(6.25) = 6 -> 0.2
+
+    def test_extremes_and_zero_preserved(self):
+        for pulses in (4, 6, 10, 14):
+            values = np.array([-1.0, 0.0, 1.0])
+            approx = pla_approximate(values, pulses)
+            assert approx[0] == pytest.approx(-1.0)
+            assert approx[-1] == pytest.approx(1.0)
+            if pulses % 2 == 0:
+                assert approx[1] == pytest.approx(0.0)
+
+    def test_positive_counts_bounds(self):
+        counts = pla_positive_counts(np.linspace(-1, 1, 33), num_pulses=10)
+        assert counts.min() >= 0 and counts.max() <= 10
+
+    def test_error_decreases_with_pulse_count(self):
+        values = np.linspace(-1, 1, 9)
+        errors = [pla_approximation_error(values, p) for p in (10, 40, 80)]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_error_small_for_saturated_activations(self):
+        """The paper's justification: if activations sit at +-1 the PLA error
+        is negligible for every pulse count."""
+        values = np.array([-1.0, 1.0] * 50)
+        for pulses in (4, 6, 10, 12, 14):
+            assert pla_approximation_error(values, pulses) < 1e-12
+
+    def test_callable_wrapper(self):
+        pla = PulseLengthApproximation(num_pulses=10)
+        grid = np.linspace(-1, 1, 9)
+        assert np.allclose(pla(grid), pla_approximate(grid, 10))
+        assert pla.error(grid) == pytest.approx(pla_approximation_error(grid, 10))
+        assert pla.positive_counts(grid).shape == grid.shape
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pla_approximate(np.zeros(3), num_pulses=0)
+        with pytest.raises(ValueError):
+            pla_approximate(np.zeros(3), num_pulses=8, mode="bogus")
+        with pytest.raises(ValueError):
+            PulseLengthApproximation(num_pulses=0)
+        with pytest.raises(ValueError):
+            PulseLengthApproximation(num_pulses=8, mode="bogus")

@@ -1,0 +1,123 @@
+"""Tests for the input bit encodings (thermometer and bit slicing)."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import BitSlicingEncoder, PulseTrain, ThermometerEncoder
+
+
+class TestThermometerEncoder:
+    def test_levels_and_pulses(self):
+        encoder = ThermometerEncoder(8)
+        assert encoder.levels == 9
+        assert encoder.num_pulses == 8
+
+    def test_exact_representation_of_grid(self):
+        encoder = ThermometerEncoder(8)
+        grid = np.linspace(-1, 1, 9)
+        assert np.allclose(encoder.represented_values(grid), grid)
+
+    def test_positive_counts_monotone(self):
+        encoder = ThermometerEncoder(8)
+        values = np.linspace(-1, 1, 17)
+        counts = encoder.positive_counts(values)
+        assert np.all(np.diff(counts) >= 0)
+        assert counts[0] == 0 and counts[-1] == 8
+
+    def test_encode_decode_roundtrip(self):
+        encoder = ThermometerEncoder(8)
+        values = np.linspace(-1, 1, 9)
+        train = encoder.encode(values)
+        assert isinstance(train, PulseTrain)
+        assert train.pulses.shape == (8, 9)
+        assert set(np.unique(train.pulses)).issubset({-1.0, 1.0})
+        assert np.allclose(train.decode(), values)
+
+    def test_pulse_layout_is_thermometer(self):
+        encoder = ThermometerEncoder(4)
+        train = encoder.encode(np.array([0.5]))  # 3 positive pulses out of 4
+        assert np.allclose(train.pulses[:, 0], [1, 1, 1, -1])
+
+    def test_equal_weights(self):
+        encoder = ThermometerEncoder(5)
+        train = encoder.encode(np.zeros(3))
+        assert np.allclose(train.weights, 0.2)
+
+    def test_out_of_range_clipped(self):
+        encoder = ThermometerEncoder(8)
+        assert np.allclose(encoder.represented_values(np.array([3.0, -3.0])), [1.0, -1.0])
+
+    def test_quantisation_error_zero_on_grid(self):
+        encoder = ThermometerEncoder(8)
+        assert np.allclose(encoder.quantisation_error(np.linspace(-1, 1, 9)), 0.0)
+
+    def test_multidimensional_values(self):
+        encoder = ThermometerEncoder(8)
+        values = np.linspace(-1, 1, 12).reshape(3, 4)
+        train = encoder.encode(values)
+        assert train.pulses.shape == (8, 3, 4)
+        assert train.value_shape == (3, 4)
+        assert np.allclose(train.decode(), encoder.represented_values(values))
+
+    def test_invalid_pulses(self):
+        with pytest.raises(ValueError):
+            ThermometerEncoder(0)
+
+
+class TestBitSlicingEncoder:
+    def test_levels_and_pulses(self):
+        encoder = BitSlicingEncoder(4)
+        assert encoder.levels == 16
+        assert encoder.num_pulses == 4
+
+    def test_pulse_weights_are_binary_powers(self):
+        encoder = BitSlicingEncoder(3)
+        assert np.allclose(encoder.pulse_weights, np.array([1, 2, 4]) / 7.0)
+
+    def test_exact_representation_of_grid(self):
+        encoder = BitSlicingEncoder(3)
+        grid = np.linspace(-1, 1, 8)
+        assert np.allclose(encoder.represented_values(grid), grid)
+
+    def test_encode_decode_roundtrip(self):
+        encoder = BitSlicingEncoder(4)
+        values = np.linspace(-1, 1, 16)
+        train = encoder.encode(values)
+        assert train.pulses.shape == (4, 16)
+        assert set(np.unique(train.pulses)).issubset({-1.0, 1.0})
+        assert np.allclose(train.decode(), values)
+
+    def test_level_index_bounds(self):
+        encoder = BitSlicingEncoder(4)
+        indices = encoder.level_index(np.array([-1.0, 1.0, 5.0, -5.0]))
+        assert indices.min() >= 0 and indices.max() <= 15
+
+    def test_bit_pattern_matches_level(self):
+        encoder = BitSlicingEncoder(3)
+        # value exactly at level 5 (binary 101) of 0..7
+        value = 2.0 * 5 / 7.0 - 1.0
+        train = encoder.encode(np.array([value]))
+        bits = (train.pulses[:, 0] > 0).astype(int)
+        assert list(bits) == [1, 0, 1]
+
+    def test_latency_equals_num_pulses(self):
+        encoder = BitSlicingEncoder(5)
+        train = encoder.encode(np.zeros(2))
+        assert train.latency() == 5
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            BitSlicingEncoder(0)
+
+
+class TestEncodingComparison:
+    def test_same_information_fewer_pulses_for_bit_slicing(self):
+        """Bit slicing carries b bits in b pulses; thermometer needs 2^b - 1."""
+        bits = 4
+        assert BitSlicingEncoder(bits).num_pulses < ThermometerEncoder(2**bits - 1).num_pulses
+
+    def test_thermometer_weights_uniform_bit_slicing_not(self):
+        thermometer = ThermometerEncoder(7).encode(np.zeros(1))
+        slicing = BitSlicingEncoder(3).encode(np.zeros(1))
+        assert np.ptp(thermometer.weights) == pytest.approx(0.0)
+        assert np.ptp(slicing.weights) > 0

@@ -1,0 +1,115 @@
+"""Tests for the markdown report generation helpers."""
+
+import os
+
+import pytest
+
+from repro.core.noise_sensitivity import LayerSensitivity
+from repro.experiments.fig1b import Fig1bResult
+from repro.experiments.fig2 import Fig2Result
+from repro.experiments.report import (
+    fig1b_markdown,
+    fig2_markdown,
+    full_report,
+    table1_markdown,
+    table2_markdown,
+    write_report,
+)
+from repro.experiments.table1 import Table1Result, Table1Row
+from repro.experiments.table2 import Table2Result, Table2Row
+
+
+@pytest.fixture
+def fig1b_result():
+    return Fig1bResult(bits=[1.0, 2.0], bit_slicing=[1.0, 0.556], thermometer=[1.0, 0.333])
+
+
+@pytest.fixture
+def fig2_result():
+    return Fig2Result(
+        sigma=9.0,
+        clean_accuracy=87.7,
+        sensitivities=[
+            LayerSensitivity(layer_index=0, layer_name="conv2", accuracy=84.0),
+            LayerSensitivity(layer_index=1, layer_name="conv3", accuracy=82.8),
+        ],
+    )
+
+
+@pytest.fixture
+def table1_result():
+    return Table1Result(
+        clean_accuracy=87.7,
+        rows=[
+            Table1Row(
+                method="Baseline", sigma=5.0, paper_sigma=10.0, schedule=[8] * 7,
+                average_pulses=8.0, accuracy=85.0, paper_accuracy=83.94, paper_average_pulses=8.0,
+            ),
+            Table1Row(
+                method="GBO-long", sigma=5.0, paper_sigma=10.0, schedule=[8, 14, 6, 14, 6, 14, 8],
+                average_pulses=10.0, accuracy=79.9, paper_accuracy=88.27, paper_average_pulses=14.85,
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def table2_result():
+    return Table2Result(
+        clean_accuracy=87.7,
+        rows=[
+            Table2Row(
+                method="NIA", sigma=12.0, paper_sigma=20.0, accuracy=78.0,
+                average_pulses=8.0, schedule=[8] * 7, paper_accuracy=78.78, paper_average_pulses=8.0,
+            )
+        ],
+    )
+
+
+class TestSectionRenderers:
+    def test_fig1b_markdown_contains_series(self, fig1b_result):
+        text = fig1b_markdown(fig1b_result)
+        assert "| bits |" in text
+        assert "0.3330" in text or "0.333" in text
+
+    def test_fig2_markdown_contains_layers(self, fig2_result):
+        text = fig2_markdown(fig2_result)
+        assert "conv2" in text and "conv3" in text
+        assert "87.70" in text
+
+    def test_table1_markdown_contains_paper_columns(self, table1_result):
+        text = table1_markdown(table1_result)
+        assert "paper acc %" in text
+        assert "83.94" in text
+        assert "[8, 14, 6, 14, 6, 14, 8]" in text
+
+    def test_table2_markdown(self, table2_result):
+        text = table2_markdown(table2_result)
+        assert "NIA" in text and "78.78" in text
+
+    def test_missing_paper_reference_renders_dash(self):
+        result = Table1Result(
+            clean_accuracy=50.0,
+            rows=[
+                Table1Row(
+                    method="Baseline", sigma=3.0, paper_sigma=None, schedule=[8, 8],
+                    average_pulses=8.0, accuracy=40.0,
+                )
+            ],
+        )
+        assert "| - |" in table1_markdown(result)
+
+
+class TestFullReport:
+    def test_includes_only_given_sections(self, fig1b_result, table1_result):
+        text = full_report(fig1b=fig1b_result, table1=table1_result)
+        assert "Fig. 1(b)" in text
+        assert "Table I" in text
+        assert "Table II" not in text
+
+    def test_write_report_creates_file(self, tmp_path, fig2_result):
+        path = str(tmp_path / "report.md")
+        text = write_report(path, fig2=fig2_result)
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == text

@@ -1,0 +1,234 @@
+"""Unit tests for the individual layers: Linear, Conv2d, pooling, activations,
+dropout, containers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    CrossEntropyLoss,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    HardTanh,
+    Identity,
+    Lambda,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ModuleList,
+    MSELoss,
+    NLLLoss,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn import functional as F
+from repro.nn import init
+from repro.tensor import Tensor, check_gradients
+from repro.tensor.random import RandomState
+
+
+@pytest.fixture
+def rng():
+    return RandomState(9)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 6))))
+        assert out.shape == (3, 4)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(5, 2, rng=rng)
+        x = rng.normal(size=(4, 5))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        check_gradients(lambda: (layer(x) ** 2).sum(), [x, layer.weight, layer.bias])
+
+
+class TestConv2d:
+    def test_output_shape_padding_stride(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_matches_reference_convolution(self, rng):
+        layer = Conv2d(2, 3, kernel_size=3, stride=1, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        out = layer(Tensor(x)).data
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = np.zeros_like(out)
+        for n in range(2):
+            for f in range(3):
+                for i in range(5):
+                    for j in range(5):
+                        window = padded[n, :, i : i + 3, j : j + 3]
+                        expected[n, f, i, j] = np.sum(window * layer.weight.data[f]) + layer.bias.data[f]
+        assert np.allclose(out, expected)
+
+    def test_fan_in(self):
+        assert Conv2d(16, 8, kernel_size=3).fan_in == 144
+
+    def test_gradients(self, rng):
+        layer = Conv2d(2, 2, kernel_size=3, padding=1, rng=rng)
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        check_gradients(lambda: (layer(x) ** 2).mean(), [x, layer.weight, layer.bias])
+
+
+class TestPoolingLayers:
+    def test_max_pool_module(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        out = MaxPool2d(2)(Tensor(x)).data
+        assert np.allclose(out, x.reshape(2, 3, 3, 2, 3, 2).max(axis=(3, 5)))
+
+    def test_avg_pool_module(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = AvgPool2d(2)(Tensor(x)).data
+        assert np.allclose(out, x.reshape(2, 3, 2, 2, 2, 2).mean(axis=(3, 5)))
+
+    def test_global_avg_pool_module(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        assert GlobalAvgPool2d()(Tensor(x)).shape == (2, 3)
+
+
+class TestActivations:
+    def test_tanh_range(self, rng):
+        out = Tanh()(Tensor(rng.normal(scale=5.0, size=(100,)))).data
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_hardtanh_clips(self):
+        out = HardTanh()(Tensor(np.array([-3.0, 0.2, 4.0]))).data
+        assert np.allclose(out, [-1.0, 0.2, 1.0])
+
+    def test_relu_and_leaky(self):
+        x = Tensor(np.array([-2.0, 3.0]))
+        assert np.allclose(ReLU()(x).data, [0.0, 3.0])
+        assert np.allclose(LeakyReLU(0.1)(x).data, [-0.2, 3.0])
+
+    def test_sigmoid(self):
+        assert Sigmoid()(Tensor(np.array([0.0]))).data[0] == pytest.approx(0.5)
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(10, 10))
+        assert np.allclose(layer(Tensor(x)).data, x)
+
+    def test_zeroes_in_train_and_scales(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((2000,))
+        out = layer(Tensor(x)).data
+        zero_fraction = np.mean(out == 0.0)
+        assert 0.4 < zero_fraction < 0.6
+        assert np.mean(out) == pytest.approx(1.0, abs=0.1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_p_zero_is_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(5, 5))
+        assert np.allclose(layer(Tensor(x)).data, x)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self, rng):
+        model = Sequential(Linear(4, 8, rng=rng), Tanh(), Linear(8, 2, rng=rng))
+        out = model(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+        assert len(model) == 3
+        assert isinstance(model[1], Tanh)
+
+    def test_sequential_registers_parameters(self, rng):
+        model = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        assert len(model.parameters()) == 4
+
+    def test_sequential_append(self, rng):
+        model = Sequential(Linear(4, 4, rng=rng))
+        model.append(Tanh())
+        assert len(model) == 2
+
+    def test_module_list(self, rng):
+        modules = ModuleList([Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(modules) == 3
+        assert len(modules.parameters()) == 6
+        with pytest.raises(NotImplementedError):
+            modules(Tensor(np.ones((1, 2))))
+
+    def test_flatten_identity_lambda(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert Flatten()(x).shape == (2, 12)
+        assert Identity()(x) is x
+        doubled = Lambda(lambda t: t * 2)(x)
+        assert np.allclose(doubled.data, x.data * 2)
+
+
+class TestLosses:
+    def test_cross_entropy_loss_module(self, rng):
+        logits = Tensor(rng.normal(size=(6, 4)))
+        targets = rng.randint(0, 4, size=6)
+        loss = CrossEntropyLoss()(logits, targets)
+        assert loss.data.size == 1
+        assert loss.item() > 0
+
+    def test_nll_loss_module(self, rng):
+        logits = Tensor(rng.normal(size=(6, 4)))
+        targets = rng.randint(0, 4, size=6)
+        nll = NLLLoss()(F.log_softmax(logits, axis=1), targets).item()
+        ce = CrossEntropyLoss()(logits, targets).item()
+        assert nll == pytest.approx(ce)
+
+    def test_mse_loss(self):
+        prediction = Tensor(np.array([1.0, 2.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert MSELoss()(prediction, target).item() == pytest.approx(2.5)
+
+    def test_mse_accepts_numpy_target(self):
+        prediction = Tensor(np.array([1.0, 1.0]))
+        assert MSELoss()(prediction, np.zeros(2)).item() == pytest.approx(1.0)
+
+
+class TestInit:
+    def test_kaiming_std(self):
+        weights = init.kaiming_normal((256, 128), rng=RandomState(0))
+        expected_std = np.sqrt(2.0 / 128)
+        assert abs(weights.std() - expected_std) / expected_std < 0.1
+
+    def test_xavier_uniform_bound(self):
+        weights = init.xavier_uniform((64, 32), rng=RandomState(0))
+        bound = np.sqrt(6.0 / (64 + 32))
+        assert np.abs(weights).max() <= bound
+
+    def test_conv_fan_computation(self):
+        weights = init.kaiming_normal((8, 4, 3, 3), rng=RandomState(0))
+        assert weights.shape == (8, 4, 3, 3)
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            init.kaiming_normal((2, 3, 4))
+
+    def test_constants(self):
+        assert np.all(init.zeros((3,)) == 0)
+        assert np.all(init.ones((3,)) == 1)
+        assert np.all(init.constant((2,), 7.0) == 7)
+
+    def test_fill_(self):
+        layer = Linear(2, 2)
+        init.fill_(layer.weight, np.zeros((2, 2)))
+        assert np.allclose(layer.weight.data, 0.0)

@@ -1,0 +1,111 @@
+"""Property-based tests for the bit encodings, PLA and quantisation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.pla import pla_approximate, pla_positive_counts
+from repro.core.schedule import PulseSchedule
+from repro.crossbar.analysis import bit_slicing_noise_variance, thermometer_noise_variance
+from repro.crossbar.encoding import BitSlicingEncoder, ThermometerEncoder
+from repro.quant.activation import levels_to_pulses, pulses_to_levels
+from repro.tensor import Tensor
+from repro.quant import quantize_uniform
+
+_settings = settings(max_examples=50, deadline=None)
+
+unit_values = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 30),
+    elements=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+)
+
+
+@_settings
+@given(unit_values, st.integers(min_value=1, max_value=24))
+def test_thermometer_roundtrip_error_bounded_by_half_step(values, pulses):
+    """|v - decode(encode(v))| <= 1/p for every value in [-1, 1]."""
+    encoder = ThermometerEncoder(pulses)
+    error = np.abs(encoder.represented_values(values) - values)
+    assert np.all(error <= 1.0 / pulses + 1e-12)
+
+
+@_settings
+@given(unit_values, st.integers(min_value=1, max_value=24))
+def test_thermometer_decode_matches_represented_values(values, pulses):
+    encoder = ThermometerEncoder(pulses)
+    train = encoder.encode(values)
+    assert np.allclose(train.decode(), encoder.represented_values(values))
+    assert set(np.unique(train.pulses)).issubset({-1.0, 1.0})
+
+
+@_settings
+@given(unit_values, st.integers(min_value=1, max_value=8))
+def test_bit_slicing_decode_matches_represented_values(values, bits):
+    encoder = BitSlicingEncoder(bits)
+    train = encoder.encode(values)
+    assert np.allclose(train.decode(), encoder.represented_values(values))
+
+
+@_settings
+@given(st.integers(min_value=1, max_value=10))
+def test_thermometer_never_noisier_than_bit_slicing(bits):
+    assert (
+        thermometer_noise_variance(2**bits - 1)
+        <= bit_slicing_noise_variance(bits) + 1e-12
+    )
+
+
+@_settings
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=64))
+def test_noise_variance_monotone_in_pulses(p_small, p_large):
+    low, high = sorted((p_small, p_large))
+    assert thermometer_noise_variance(high) <= thermometer_noise_variance(low) + 1e-12
+
+
+@_settings
+@given(unit_values, st.integers(min_value=1, max_value=24), st.sampled_from(["toward_extremes", "nearest"]))
+def test_pla_output_is_representable_and_bounded(values, pulses, mode):
+    approx = pla_approximate(values, pulses, mode=mode)
+    counts = pla_positive_counts(values, pulses, mode=mode)
+    assert np.all((counts >= 0) & (counts <= pulses))
+    assert np.all(np.abs(approx) <= 1.0 + 1e-12)
+    # decoded value must match the pulse count exactly
+    assert np.allclose(approx, 2.0 * counts / pulses - 1.0)
+
+
+@_settings
+@given(unit_values, st.integers(min_value=1, max_value=24))
+def test_pla_toward_extremes_never_moves_towards_zero(values, pulses):
+    """The paper's rounding direction only pushes values outward (or keeps them)."""
+    approx = pla_approximate(values, pulses, mode="toward_extremes")
+    positive = values >= 0
+    assert np.all(approx[positive] >= values[positive] - 1e-12)
+    assert np.all(approx[~positive] <= values[~positive] + 1e-12)
+
+
+@_settings
+@given(unit_values, st.integers(min_value=2, max_value=33))
+def test_quantize_uniform_idempotent(values, levels):
+    tensor = Tensor(values)
+    once = quantize_uniform(tensor, levels=levels).data
+    twice = quantize_uniform(Tensor(once), levels=levels).data
+    assert np.allclose(once, twice)
+
+
+@_settings
+@given(st.integers(min_value=1, max_value=64))
+def test_levels_pulses_roundtrip_on_grid(pulses):
+    grid = np.linspace(-1.0, 1.0, pulses + 1)
+    counts = levels_to_pulses(grid, pulses)
+    assert np.allclose(pulses_to_levels(counts, pulses), grid)
+
+
+@_settings
+@given(st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=12))
+def test_pulse_schedule_average_consistent(pulses):
+    schedule = PulseSchedule(pulses)
+    assert np.isclose(schedule.average_pulses * schedule.num_layers, sum(pulses))
+    assert schedule.total_pulses == sum(pulses)
+    assert schedule.as_list() == list(pulses)

@@ -1,0 +1,65 @@
+"""Tests for the seeded random-number helpers."""
+
+import numpy as np
+
+from repro.tensor.random import RandomState, default_rng, manual_seed
+
+
+class TestRandomState:
+    def test_same_seed_same_sequence(self):
+        a = RandomState(123).normal(size=10)
+        b = RandomState(123).normal(size=10)
+        assert np.allclose(a, b)
+
+    def test_different_seed_different_sequence(self):
+        a = RandomState(1).normal(size=10)
+        b = RandomState(2).normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_reseed_restarts_sequence(self):
+        rng = RandomState(5)
+        first = rng.normal(size=4)
+        rng.reseed(5)
+        assert np.allclose(rng.normal(size=4), first)
+
+    def test_uniform_bounds(self):
+        samples = RandomState(0).uniform(2.0, 3.0, size=1000)
+        assert samples.min() >= 2.0
+        assert samples.max() < 3.0
+
+    def test_randint_bounds(self):
+        samples = RandomState(0).randint(0, 10, size=1000)
+        assert samples.min() >= 0
+        assert samples.max() <= 9
+
+    def test_permutation_is_permutation(self):
+        perm = RandomState(0).permutation(20)
+        assert sorted(perm.tolist()) == list(range(20))
+
+    def test_bernoulli_probability(self):
+        samples = RandomState(0).bernoulli(0.25, (10000,))
+        assert set(np.unique(samples)).issubset({0.0, 1.0})
+        assert abs(samples.mean() - 0.25) < 0.03
+
+    def test_spawn_is_deterministic_and_independent(self):
+        parent_a = RandomState(9)
+        parent_b = RandomState(9)
+        child_a = parent_a.spawn()
+        child_b = parent_b.spawn()
+        assert np.allclose(child_a.normal(size=5), child_b.normal(size=5))
+
+    def test_choice(self):
+        picks = RandomState(0).choice(np.array([1, 2, 3]), size=50)
+        assert set(np.unique(picks)).issubset({1, 2, 3})
+
+
+class TestDefaultRng:
+    def test_manual_seed_controls_default(self):
+        manual_seed(77)
+        first = default_rng().normal(size=5)
+        manual_seed(77)
+        second = default_rng().normal(size=5)
+        assert np.allclose(first, second)
+
+    def test_seed_attribute(self):
+        assert RandomState(11).seed == 11

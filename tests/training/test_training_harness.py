@@ -1,0 +1,188 @@
+"""Tests for the trainer, evaluation helpers, metrics, callbacks and checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.core import PulseSchedule
+from repro.data import DataLoader, TensorDataset
+from repro.models import CrossbarMLP
+from repro.nn import Linear, Sequential, Tanh
+from repro.optim import SGD, StepLR
+from repro.tensor import Tensor
+from repro.tensor.random import RandomState
+from repro.training import (
+    AverageMeter,
+    EarlyStopping,
+    HistoryRecorder,
+    PretrainConfig,
+    Trainer,
+    TrainingConfig,
+    accuracy_from_logits,
+    confusion_matrix,
+    evaluate_accuracy,
+    evaluate_loss,
+    load_checkpoint,
+    noisy_accuracy,
+    pretrain_model,
+    save_checkpoint,
+)
+
+
+@pytest.fixture
+def rng():
+    return RandomState(4)
+
+
+@pytest.fixture
+def linearly_separable(rng):
+    """Simple 3-class linearly separable problem."""
+    num, features, classes = 240, 12, 3
+    weights = rng.normal(size=(classes, features))
+    inputs = rng.normal(size=(num, features))
+    labels = (inputs @ weights.T).argmax(axis=1)
+    dataset = TensorDataset(inputs, labels)
+    train_loader = DataLoader(dataset, batch_size=32, shuffle=True, rng=RandomState(0))
+    eval_loader = DataLoader(dataset, batch_size=64)
+    return train_loader, eval_loader, features, classes
+
+
+class TestMetrics:
+    def test_accuracy_from_logits(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0], [0.0, 1.0]])
+        targets = np.array([0, 1, 1, 1])
+        assert accuracy_from_logits(logits, targets) == pytest.approx(75.0)
+
+    def test_accuracy_accepts_tensor(self):
+        logits = Tensor(np.array([[1.0, 0.0]]))
+        assert accuracy_from_logits(logits, np.array([0])) == pytest.approx(100.0)
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), num_classes=3)
+        assert matrix[1, 1] == 1 and matrix[2, 1] == 1 and matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_confusion_matrix_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3), np.zeros(4))
+
+    def test_average_meter(self):
+        meter = AverageMeter("loss")
+        meter.update(2.0, weight=1)
+        meter.update(4.0, weight=3)
+        assert meter.average == pytest.approx(3.5)
+        meter.reset()
+        assert meter.average == 0.0
+
+
+class TestTrainer:
+    def test_learns_separable_problem(self, linearly_separable):
+        train_loader, eval_loader, features, classes = linearly_separable
+        model = Sequential(Linear(features, 32, rng=RandomState(1)), Tanh(), Linear(32, classes, rng=RandomState(2)))
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        trainer = Trainer(model, optimizer, config=TrainingConfig(epochs=10))
+        history = trainer.fit(train_loader, val_loader=eval_loader)
+        assert history[-1]["train_accuracy"] > 85.0
+        assert history[-1]["val_accuracy"] > 85.0
+        assert len(history) == 10
+
+    def test_scheduler_changes_lr(self, linearly_separable):
+        train_loader, _, features, classes = linearly_separable
+        model = Sequential(Linear(features, classes, rng=RandomState(1)))
+        optimizer = SGD(model.parameters(), lr=1.0)
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.1)
+        trainer = Trainer(model, optimizer, scheduler=scheduler, config=TrainingConfig(epochs=2))
+        trainer.fit(train_loader)
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_callbacks_invoked(self, linearly_separable):
+        train_loader, eval_loader, features, classes = linearly_separable
+        model = Sequential(Linear(features, classes, rng=RandomState(1)))
+        recorder = HistoryRecorder()
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=0.1),
+            config=TrainingConfig(epochs=3),
+            callbacks=[recorder],
+        )
+        trainer.fit(train_loader, val_loader=eval_loader)
+        assert len(recorder.history) == 3
+        assert "val_accuracy" in recorder.history[0]
+
+    def test_early_stopping_halts_training(self, linearly_separable):
+        train_loader, eval_loader, features, classes = linearly_separable
+        model = Sequential(Linear(features, classes, rng=RandomState(1)))
+        stopper = EarlyStopping(monitor="val_accuracy", patience=1)
+        # Learning rate zero: no improvement ever, so it must stop early.
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=1e-12),
+            config=TrainingConfig(epochs=50),
+            callbacks=[stopper],
+        )
+        history = trainer.fit(train_loader, val_loader=eval_loader)
+        assert len(history) < 50
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+
+    def test_early_stopping_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="sideways")
+
+
+class TestEvaluation:
+    def test_evaluate_accuracy_and_loss(self, linearly_separable, rng):
+        train_loader, eval_loader, features, classes = linearly_separable
+        model = Sequential(Linear(features, classes, rng=RandomState(1)))
+        accuracy = evaluate_accuracy(model, eval_loader)
+        loss = evaluate_loss(model, eval_loader)
+        assert 0.0 <= accuracy <= 100.0
+        assert loss > 0.0
+
+    def test_evaluation_restores_training_mode(self, linearly_separable):
+        train_loader, eval_loader, features, classes = linearly_separable
+        model = Sequential(Linear(features, classes, rng=RandomState(1)))
+        model.train()
+        evaluate_accuracy(model, eval_loader)
+        assert model.training
+
+    def test_noisy_accuracy_configures_model(self, tiny_loaders):
+        _, test_loader = tiny_loaders
+        model = CrossbarMLP(3 * 8 * 8, hidden_sizes=(16, 16), rng=RandomState(1))
+        schedule = PulseSchedule([12, 16])
+        accuracy = noisy_accuracy(model, test_loader, sigma=2.0, schedule=schedule, num_repeats=2)
+        assert 0.0 <= accuracy <= 100.0
+        assert model.current_schedule().as_list() == [12, 16]
+        assert all(layer.mode == "noisy" for layer in model.encoded_layers())
+
+    def test_noisy_accuracy_invalid_repeats(self, tiny_loaders):
+        _, test_loader = tiny_loaders
+        model = CrossbarMLP(3 * 8 * 8, hidden_sizes=(16,), rng=RandomState(1))
+        with pytest.raises(ValueError):
+            noisy_accuracy(model, test_loader, sigma=1.0, num_repeats=0)
+
+
+class TestPretrainRecipe:
+    def test_pretrain_improves_accuracy(self, tiny_loaders):
+        train_loader, test_loader = tiny_loaders
+        model = CrossbarMLP(3 * 8 * 8, hidden_sizes=(32, 32), rng=RandomState(1))
+        before = evaluate_accuracy(model, test_loader)
+        pretrain_model(model, train_loader, config=PretrainConfig(epochs=5, learning_rate=1e-2))
+        after = evaluate_accuracy(model, test_loader)
+        assert after > before
+
+    def test_pretrain_config_validation(self):
+        with pytest.raises(ValueError):
+            PretrainConfig(epochs=0)
+
+
+class TestCheckpoint:
+    def test_checkpoint_roundtrip(self, tmp_path):
+        model = CrossbarMLP(12, hidden_sizes=(8,), rng=RandomState(1))
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(path, model, metadata={"note": "test"})
+        clone = CrossbarMLP(12, hidden_sizes=(8,), rng=RandomState(99))
+        load_checkpoint(path, clone)
+        assert np.allclose(clone.enc0.weight.data, model.enc0.weight.data)
+        assert np.allclose(clone.stem.weight.data, model.stem.weight.data)
