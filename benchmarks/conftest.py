@@ -20,7 +20,15 @@ import pytest
 from repro.experiments import get_profile, get_pretrained_bundle
 from repro.utils.seed import seed_everything
 
-RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+BENCHMARKS_DIR = os.path.dirname(os.path.abspath(__file__))
+RESULTS_DIR = os.path.join(BENCHMARKS_DIR, "results")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark as ``slow`` so ``-m "not slow"`` skips the suite."""
+    for item in items:
+        if str(item.fspath).startswith(BENCHMARKS_DIR):
+            item.add_marker(pytest.mark.slow)
 
 #: Profile used by the benchmark harness (override with REPRO_PROFILE).
 PROFILE_NAME = os.environ.get("REPRO_PROFILE", "fast")

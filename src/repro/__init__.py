@@ -9,6 +9,12 @@ The package is organised bottom-up:
 * :mod:`repro.quant` — binary weights and multi-level activations;
 * :mod:`repro.crossbar` — the binary memristive crossbar simulator with
   input bit encodings and analog noise models;
+* :mod:`repro.backend` — pluggable simulation engines executing the noisy
+  pulse-train reads: a loop-per-pulse/loop-per-tile ``ReferenceEngine``
+  (validation oracle) and the default ``VectorizedEngine`` which batches
+  pulses x tiles x batch into a few matmuls with one batched noise draw
+  (select via ``REPRO_BACKEND``, a profile's ``backend`` field, or
+  ``layer.set_engine``);
 * :mod:`repro.core` — the paper's contribution: PLA, encoded crossbar
   layers, GBO and the NIA baseline;
 * :mod:`repro.models`, :mod:`repro.training`, :mod:`repro.experiments` —

@@ -1,0 +1,44 @@
+"""Simulation backends for the crossbar pulse-train model.
+
+The behavioural model of the paper (Eqs. 2-4) is defined as a sequence of
+noisy analog reads: one read per input pulse, one partial sum per physical
+tile.  *How* those reads are executed is an implementation choice, and this
+subpackage isolates it behind the :class:`SimulationEngine` interface:
+
+* :class:`ReferenceEngine` — executes the model literally: one crossbar read
+  per pulse, one partial sum per tile.  ``O(num_pulses x num_tiles)`` numpy
+  calls; the ground truth the fast path is validated against.
+* :class:`VectorizedEngine` — batches pulses x tiles x batch into a handful
+  of matmul/tensordot calls with one batched noise draw, exploiting that the
+  paper's Gaussian read noise is i.i.d. across pulses and tiles.  The default
+  engine for all drivers and benchmarks.
+
+Engine selection: pass an engine (or its name) explicitly to
+:func:`repro.crossbar.mvm.pulsed_mvm` or a layer's ``set_engine``, set the
+``REPRO_BACKEND`` environment variable (``"vectorized"`` / ``"reference"``),
+or install a process-wide default with :func:`set_default_engine`.
+"""
+
+from repro.backend.engine import (
+    SimulationEngine,
+    available_engines,
+    default_engine,
+    get_engine,
+    register_engine,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.backend.reference import ReferenceEngine
+from repro.backend.vectorized import VectorizedEngine
+
+__all__ = [
+    "SimulationEngine",
+    "ReferenceEngine",
+    "VectorizedEngine",
+    "available_engines",
+    "default_engine",
+    "get_engine",
+    "register_engine",
+    "resolve_engine",
+    "set_default_engine",
+]

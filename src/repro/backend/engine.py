@@ -1,0 +1,169 @@
+"""The :class:`SimulationEngine` interface and engine registry.
+
+An engine answers three questions for the rest of the library:
+
+1. how to execute a full pulse-train crossbar read (:meth:`pulsed_read`),
+2. how to sample the accumulated read noise of a folded layer forward
+   (:meth:`folded_read_noise`), and
+3. how to sample the GBO mixture noise of Eq. 5
+   (:meth:`gbo_mixture_noise`).
+
+Implementations must be *statistically* interchangeable: for every method the
+returned distribution is fixed by the paper's model, only the number of numpy
+calls (and hence the draw layout) may differ.  The equivalence is enforced by
+``tests/backend/test_engines.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.tensor.random import RandomState
+
+if TYPE_CHECKING:  # avoid a circular import: crossbar -> core -> backend
+    from repro.crossbar.encoding import PulseTrain
+
+#: Environment variable consulted by :func:`default_engine`.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+EngineLike = Union["SimulationEngine", str, None]
+
+
+class SimulationEngine:
+    """Strategy interface for executing noisy crossbar reads."""
+
+    #: Registry name of the engine (set by subclasses).
+    name: str = "abstract"
+
+    def encoded_read(
+        self,
+        crossbar,
+        values: np.ndarray,
+        encoder,
+        add_noise: bool = True,
+        rng: Optional[RandomState] = None,
+    ) -> np.ndarray:
+        """Encode ``values`` with ``encoder`` and read the resulting train.
+
+        The default implementation materialises the pulse train and defers to
+        :meth:`pulsed_read`; engines may shortcut the encoding when the
+        accumulated result has a closed form.
+        """
+        train = encoder.encode(values)
+        if train.num_pulses == 0:
+            raise ValueError(
+                f"encoder {encoder!r} produced an empty pulse train; at least "
+                "one pulse is required to perform a crossbar read"
+            )
+        return self.pulsed_read(crossbar, train, add_noise=add_noise, rng=rng)
+
+    def pulsed_read(
+        self,
+        crossbar,
+        train: "PulseTrain",
+        add_noise: bool = True,
+        rng: Optional[RandomState] = None,
+    ) -> np.ndarray:
+        """Accumulate the weighted noisy reads of every pulse in ``train``.
+
+        Parameters
+        ----------
+        crossbar:
+            A :class:`~repro.crossbar.array.CrossbarArray` or
+            :class:`~repro.crossbar.tiling.TiledCrossbar`.
+        train:
+            Pulse train of shape ``(num_pulses, *batch, in_features)``.
+        add_noise:
+            Disable to obtain the ideal accumulated result.
+        rng:
+            Random state for noise sampling; defaults to the crossbar's own.
+        """
+        raise NotImplementedError
+
+    def folded_read_noise(
+        self,
+        shape: Tuple[int, ...],
+        sigma: float,
+        num_pulses: float,
+        rng: RandomState,
+    ) -> np.ndarray:
+        """Additive noise of ``num_pulses`` accumulated equal-weight reads.
+
+        Averaging ``p`` independent ``N(0, sigma^2)`` reads yields
+        ``N(0, sigma^2 / p)`` (paper Eq. 4); engines may realise the sum
+        pulse-by-pulse or as one folded draw.
+        """
+        raise NotImplementedError
+
+    def gbo_mixture_noise(
+        self,
+        alphas: Tensor,
+        scales: Sequence[float],
+        shape: Tuple[int, ...],
+        rng: RandomState,
+    ) -> Tensor:
+        """Reparameterised GBO mixture ``sum_k alpha_k * scale_k * eps_k``.
+
+        ``alphas`` are the softmax importance weights (a differentiable
+        :class:`Tensor`); gradients must flow from the returned noise back to
+        the logits.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, SimulationEngine] = {}
+_DEFAULT: Optional[SimulationEngine] = None
+
+
+def register_engine(engine: SimulationEngine) -> SimulationEngine:
+    """Add an engine instance to the registry under its ``name``."""
+    _REGISTRY[engine.name] = engine
+    return engine
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names of all registered engines."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_engine(name: str) -> SimulationEngine:
+    """Look up a registered engine by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown backend {name!r}; available backends: {sorted(_REGISTRY)}"
+        ) from error
+
+
+def default_engine() -> SimulationEngine:
+    """The process-wide default engine.
+
+    Resolution order: an engine installed via :func:`set_default_engine`,
+    then the ``REPRO_BACKEND`` environment variable, then ``"vectorized"``.
+    """
+    if _DEFAULT is not None:
+        return _DEFAULT
+    return get_engine(os.environ.get(BACKEND_ENV_VAR, "vectorized"))
+
+
+def set_default_engine(engine: EngineLike) -> None:
+    """Install (or, with ``None``, clear) the process-wide default engine."""
+    global _DEFAULT
+    _DEFAULT = None if engine is None else resolve_engine(engine)
+
+
+def resolve_engine(engine: EngineLike) -> SimulationEngine:
+    """Coerce an engine instance / name / ``None`` into an engine."""
+    if engine is None:
+        return default_engine()
+    if isinstance(engine, str):
+        return get_engine(engine)
+    return engine

@@ -1,0 +1,143 @@
+"""Batched engine: pulses x tiles x batch collapsed into a few numpy calls.
+
+Two execution strategies, picked per crossbar:
+
+* **Folded Gaussian path** — with ideal converters and (at most) additive
+  Gaussian read noise, the accumulated read ``sum_p w_p (pulse_p @ W^T +
+  eps_p)`` equals ``decode(train) @ W^T + N(0, std^2 * ||w||^2)`` where
+  ``std`` is the noise of one full logical read (tile partial sums add in
+  quadrature).  One matmul over the assembled tile conductances plus one
+  batched noise draw replaces ``num_pulses x num_tiles`` reads; when entered
+  through :meth:`VectorizedEngine.encoded_read` the pulse train is never even
+  materialised — the encoder's closed-form round-trip value stands in for
+  ``decode(train)``.
+* **Batched tile path** — for non-Gaussian noise models or non-ideal
+  converters the per-read semantics matter, so the whole pulse stack
+  ``(num_pulses, batch, in_features)`` is driven through every tile in a
+  single :meth:`read_batch` call (noise drawn once per tile for the whole
+  stack) and accumulated with one ``tensordot`` over the pulse weights.
+
+Both strategies are statistically identical to
+:class:`~repro.backend.reference.ReferenceEngine` because the read noise is
+i.i.d. across pulses and tiles; ``tests/backend/test_engines.py`` verifies
+the equivalence on multi-tile crossbars.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.engine import SimulationEngine, register_engine
+from repro.tensor import Tensor
+from repro.tensor.random import RandomState
+
+if TYPE_CHECKING:  # avoid a circular import: crossbar -> core -> backend
+    from repro.crossbar.encoding import PulseTrain
+
+
+def _converters_ideal(config) -> bool:
+    """True when ADC/DAC are pass-through for ``{-1, +1}`` pulse inputs."""
+    from repro.crossbar.adc import IdealADC
+    from repro.crossbar.dac import IdealDAC
+
+    adc_ok = config.adc is None or type(config.adc) is IdealADC
+    dac_ok = config.dac is None or (
+        type(config.dac) is IdealDAC and config.dac.v_ref >= 1.0
+    )
+    return adc_ok and dac_ok
+
+
+class VectorizedEngine(SimulationEngine):
+    """Default engine: one batched noise draw, a handful of matmuls."""
+
+    name = "vectorized"
+
+    def encoded_read(
+        self,
+        crossbar,
+        values: np.ndarray,
+        encoder,
+        add_noise: bool = True,
+        rng: Optional[RandomState] = None,
+    ) -> np.ndarray:
+        # When the accumulated read folds, skip materialising the pulse train
+        # entirely: the ideal part is the encoder's round-trip (quantised)
+        # value and the noise scale is ||accumulation_weights||_2.
+        weights = getattr(encoder, "accumulation_weights", None)
+        if (
+            weights is not None
+            and weights.size > 0
+            and hasattr(encoder, "represented_values")
+            and self._can_fold(crossbar, add_noise)
+        ):
+            decoded = encoder.represented_values(values)
+            return self._fold_decoded(crossbar, decoded, weights, add_noise, rng)
+        return super().encoded_read(crossbar, values, encoder, add_noise=add_noise, rng=rng)
+
+    def pulsed_read(
+        self,
+        crossbar,
+        train: "PulseTrain",
+        add_noise: bool = True,
+        rng: Optional[RandomState] = None,
+    ) -> np.ndarray:
+        if self._can_fold(crossbar, add_noise):
+            return self._fold_decoded(crossbar, train.decode(), train.weights, add_noise, rng)
+        return self._batched_tile_read(crossbar, train, add_noise, rng)
+
+    @staticmethod
+    def _can_fold(crossbar, add_noise: bool) -> bool:
+        from repro.crossbar.noise import GaussianReadNoise, NoNoise
+
+        if not _converters_ideal(crossbar.config):
+            return False
+        if not add_noise:
+            return True
+        return type(crossbar.config.noise) in (NoNoise, GaussianReadNoise)
+
+    @staticmethod
+    def _fold_decoded(
+        crossbar, decoded: np.ndarray, pulse_weights: np.ndarray, add_noise: bool, rng
+    ) -> np.ndarray:
+        output = decoded @ crossbar.assembled_effective_weights.T
+        if add_noise:
+            read_std = crossbar.read_noise_std()
+            if read_std > 0.0:
+                # sum_p w_p eps_p with eps_p ~ N(0, read_std^2) i.i.d.
+                accumulated_std = read_std * float(np.sqrt(np.sum(pulse_weights**2)))
+                rng = rng or crossbar.rng
+                output = output + rng.normal(0.0, accumulated_std, size=output.shape)
+        return output
+
+    @staticmethod
+    def _batched_tile_read(crossbar, train: "PulseTrain", add_noise: bool, rng) -> np.ndarray:
+        stack = crossbar.read_batch(train.pulses, add_noise=add_noise, rng=rng)
+        return np.tensordot(train.weights, stack, axes=(0, 0))
+
+    def folded_read_noise(
+        self,
+        shape: Tuple[int, ...],
+        sigma: float,
+        num_pulses: float,
+        rng: RandomState,
+    ) -> np.ndarray:
+        return rng.normal(0.0, sigma / np.sqrt(float(num_pulses)), size=shape)
+
+    def gbo_mixture_noise(
+        self,
+        alphas: Tensor,
+        scales: Sequence[float],
+        shape: Tuple[int, ...],
+        rng: RandomState,
+    ) -> Tensor:
+        scales_arr = np.asarray(scales, dtype=np.float64)
+        num_options = scales_arr.size
+        eps = rng.normal(0.0, 1.0, size=(num_options,) + tuple(shape))
+        scaled = eps * scales_arr.reshape((num_options,) + (1,) * len(shape))
+        mixed = alphas.reshape(1, num_options).matmul(Tensor(scaled.reshape(num_options, -1)))
+        return mixed.reshape(*shape)
+
+
+VECTORIZED_ENGINE = register_engine(VectorizedEngine())

@@ -10,10 +10,12 @@ crossbar.  They support three forward modes:
 ``noisy``
     Inference on the crossbar: the layer's configured pulse count determines
     both the PLA re-encoding of the input and the effective noise variance
-    ``sigma^2 / n`` (Eq. 4).  The fast *folded* path adds a single Gaussian
-    with the accumulated variance — statistically identical to simulating
-    every pulse (verified in the tests); the *simulate* path drives every
-    pulse through a :class:`~repro.crossbar.tiling.TiledCrossbar`.
+    ``sigma^2 / n`` (Eq. 4).  The accumulated read noise is sampled by the
+    layer's :class:`~repro.backend.engine.SimulationEngine` (one folded draw
+    on the vectorized engine, per-pulse draws on the reference engine —
+    statistically identical, verified in the tests); the *simulate* path
+    drives the full pulse train through a
+    :class:`~repro.crossbar.tiling.TiledCrossbar` via the same engine.
 ``gbo``
     Training mode of Section III-A: the layer mixes the noise of every
     candidate pulse length with the softmax weights ``alpha_k`` derived from
@@ -26,6 +28,8 @@ from typing import List, Literal, Optional
 
 import numpy as np
 
+from repro.backend import resolve_engine
+from repro.backend.engine import EngineLike, SimulationEngine
 from repro.crossbar.array import CrossbarConfig
 from repro.crossbar.encoding import ThermometerEncoder
 from repro.crossbar.mvm import pulsed_mvm
@@ -60,6 +64,7 @@ class EncodedLayerMixin:
         sigma_relative_to_fan_in: bool = False,
         pla_mode: RoundingMode = "toward_extremes",
         rng: Optional[RandomState] = None,
+        engine: EngineLike = None,
     ) -> None:
         self.act_quantizer = ActivationQuantizer(levels=activation_levels)
         self.base_pulses = activation_levels - 1
@@ -71,6 +76,9 @@ class EncodedLayerMixin:
         self.noise_rng = rng or default_rng()
         self.gbo_space: Optional[PulseScalingSpace] = None
         self.gbo_logits: Optional[Parameter] = None
+        self._engine: Optional[SimulationEngine] = (
+            None if engine is None else resolve_engine(engine)
+        )
 
     # ------------------------------------------------------------------
     # Configuration
@@ -108,6 +116,23 @@ class EncodedLayerMixin:
         if relative_to_fan_in is not None:
             self.sigma_relative_to_fan_in = relative_to_fan_in
 
+    @property
+    def engine(self) -> SimulationEngine:
+        """Simulation engine executing this layer's noisy reads.
+
+        Falls back to the process-wide default (``REPRO_BACKEND`` /
+        :func:`repro.backend.default_engine`) until :meth:`set_engine` pins
+        one explicitly.
+        """
+        return self._engine if self._engine is not None else resolve_engine(None)
+
+    def set_engine(self, engine: EngineLike) -> None:
+        """Pin a simulation engine (instance or registry name) on this layer.
+
+        Pass ``None`` to track the process-wide default again.
+        """
+        self._engine = None if engine is None else resolve_engine(engine)
+
     # ------------------------------------------------------------------
     # GBO support (Eq. 5)
     # ------------------------------------------------------------------
@@ -144,17 +169,15 @@ class EncodedLayerMixin:
         Fresh standard-normal draws ``eps_k`` are taken per forward call; the
         noise magnitude of every candidate encoding is weighted by its
         importance ``alpha_k`` so the gradient of the loss w.r.t. the logits
-        reflects how much accuracy suffers under that candidate's noise.
+        reflects how much accuracy suffers under that candidate's noise.  The
+        engine decides whether the draws happen per candidate (reference) or
+        as one batched sample (vectorized); gradients flow to the logits
+        either way.
         """
         alphas = self.gbo_alphas()
         sigma = self.effective_sigma()
-        total: Optional[Tensor] = None
-        for option_index, pulses in enumerate(self.gbo_space.pulse_counts):
-            scale = sigma / np.sqrt(float(pulses))
-            eps = Tensor(self.noise_rng.normal(0.0, 1.0, size=shape) * scale)
-            term = alphas[option_index] * eps
-            total = term if total is None else total + term
-        return total
+        scales = [sigma / np.sqrt(float(pulses)) for pulses in self.gbo_space.pulse_counts]
+        return self.engine.gbo_mixture_noise(alphas, scales, shape, self.noise_rng)
 
     # ------------------------------------------------------------------
     # Input encoding
@@ -179,8 +202,9 @@ class EncodedLayerMixin:
         if self.mode == "noisy":
             sigma = self.effective_sigma()
             if sigma > 0:
-                std = sigma / np.sqrt(float(self.num_pulses))
-                noise = self.noise_rng.normal(0.0, std, size=output.shape)
+                noise = self.engine.folded_read_noise(
+                    output.shape, sigma, self.num_pulses, self.noise_rng
+                )
                 output = output + Tensor(noise)
         elif self.mode == "gbo":
             if self.effective_sigma() > 0:
@@ -216,6 +240,7 @@ class EncodedConv2d(QuantConv2d, EncodedLayerMixin):
         pla_mode: RoundingMode = "toward_extremes",
         rng: Optional[RandomState] = None,
         weight_rng: Optional[RandomState] = None,
+        engine: EngineLike = None,
     ):
         super().__init__(
             in_channels,
@@ -232,6 +257,7 @@ class EncodedConv2d(QuantConv2d, EncodedLayerMixin):
             sigma_relative_to_fan_in=sigma_relative_to_fan_in,
             pla_mode=pla_mode,
             rng=rng,
+            engine=engine,
         )
 
     @property
@@ -276,6 +302,7 @@ class EncodedLinear(QuantLinear, EncodedLayerMixin):
         pla_mode: RoundingMode = "toward_extremes",
         rng: Optional[RandomState] = None,
         weight_rng: Optional[RandomState] = None,
+        engine: EngineLike = None,
     ):
         super().__init__(in_features, out_features, bias=False, rng=weight_rng)
         self._init_encoding(
@@ -284,6 +311,7 @@ class EncodedLinear(QuantLinear, EncodedLayerMixin):
             sigma_relative_to_fan_in=sigma_relative_to_fan_in,
             pla_mode=pla_mode,
             rng=rng,
+            engine=engine,
         )
 
     @property
@@ -301,14 +329,18 @@ class EncodedLinear(QuantLinear, EncodedLayerMixin):
         return self._apply_output_noise(out)
 
     def simulate_pulsed_forward(
-        self, x: np.ndarray, crossbar_config: Optional[CrossbarConfig] = None
+        self,
+        x: np.ndarray,
+        crossbar_config: Optional[CrossbarConfig] = None,
+        engine: EngineLike = None,
     ) -> np.ndarray:
-        """Pulse-by-pulse crossbar simulation of this layer (validation path).
+        """Pulse-train crossbar simulation of this layer (validation path).
 
         Quantises ``x``, encodes it with a thermometer encoder of the layer's
-        current pulse count and drives every pulse through a tiled crossbar
-        built from the layer's binary weights.  Used by the tests to confirm
-        that the fast folded path has the same statistics.
+        current pulse count and drives the train through a tiled crossbar
+        built from the layer's binary weights, using ``engine`` (defaulting
+        to the layer's engine).  Used by the tests to confirm that the fast
+        folded path has the same statistics.
         """
         quantised_levels = self.act_quantizer.levels
         values = np.clip(np.asarray(x, dtype=np.float64), -1.0, 1.0)
@@ -318,7 +350,8 @@ class EncodedLinear(QuantLinear, EncodedLayerMixin):
             values = pla_approximate(values, self.num_pulses, mode=self.pla_mode)
         crossbar = self.as_crossbar(crossbar_config)
         encoder = ThermometerEncoder(self.num_pulses)
-        return pulsed_mvm(crossbar, values, encoder, add_noise=True)
+        engine = self.engine if engine is None else resolve_engine(engine)
+        return pulsed_mvm(crossbar, values, encoder, add_noise=True, engine=engine)
 
     def __repr__(self) -> str:
         return (

@@ -13,7 +13,8 @@ This subpackage is the behavioural hardware substrate of the reproduction:
 * :mod:`repro.crossbar.array` / :mod:`repro.crossbar.tiling` — single-tile
   and tiled noisy matrix-vector multiplication;
 * :mod:`repro.crossbar.mvm` — pulse-train MVM combining an encoder with a
-  crossbar (Eqs. 2-4);
+  crossbar (Eqs. 2-4), executed by a pluggable simulation engine (see
+  :mod:`repro.backend`);
 * :mod:`repro.crossbar.analysis` — the closed-form noise-variance formulas
   behind Fig. 1(b) and Monte-Carlo validation helpers.
 """
@@ -36,7 +37,7 @@ from repro.crossbar.encoding import (
 )
 from repro.crossbar.array import CrossbarArray, CrossbarConfig
 from repro.crossbar.tiling import TiledCrossbar
-from repro.crossbar.mvm import pulsed_mvm, bit_sliced_mvm, folded_noisy_mvm
+from repro.crossbar.mvm import pulsed_mvm, bit_sliced_mvm, thermometer_mvm, folded_noisy_mvm
 from repro.crossbar.analysis import (
     bit_slicing_noise_variance,
     thermometer_noise_variance,
@@ -71,6 +72,7 @@ __all__ = [
     "TiledCrossbar",
     "pulsed_mvm",
     "bit_sliced_mvm",
+    "thermometer_mvm",
     "folded_noisy_mvm",
     "bit_slicing_noise_variance",
     "thermometer_noise_variance",

@@ -85,20 +85,42 @@ class CrossbarArray:
         return self._effective
 
     @property
+    def assembled_effective_weights(self) -> np.ndarray:
+        """Full effective matrix (alias; mirrors the tiled-crossbar API)."""
+        return self._effective
+
+    @property
     def ideal_weights(self) -> np.ndarray:
         """The binary weights the crossbar was asked to store."""
         return self._ideal_weights
 
-    def matvec(self, inputs: np.ndarray, add_noise: bool = True) -> np.ndarray:
-        """One analog read: ``inputs @ W^T`` with converter and noise effects.
+    @property
+    def rng(self) -> RandomState:
+        """Random state used for this crossbar's noise sampling."""
+        return self._rng
+
+    def read_batch(
+        self,
+        inputs: np.ndarray,
+        add_noise: bool = True,
+        rng: Optional[RandomState] = None,
+    ) -> np.ndarray:
+        """Batched analog read: ``inputs @ W^T`` with converter/noise effects.
+
+        Accepts any number of leading batch dimensions — in particular a
+        whole pulse train ``(num_pulses, batch, in_features)`` — and models
+        one independent analog read per leading-index slice, with the noise
+        for the entire stack drawn in a single call.
 
         Parameters
         ----------
         inputs:
-            Array of shape ``(in_features,)`` or ``(batch, in_features)``.
+            Array of shape ``(..., in_features)``.
         add_noise:
             Disable to obtain the ideal (noise-free) result, e.g. for
             calibration or for computing signal-to-noise ratios.
+        rng:
+            Override the crossbar's random state for the noise draw.
         """
         inputs = np.asarray(inputs, dtype=np.float64)
         if inputs.shape[-1] != self.in_features:
@@ -110,10 +132,14 @@ class CrossbarArray:
             inputs = self.config.dac.convert(inputs)
         output = inputs @ self._effective.T
         if add_noise:
-            output = self.config.noise.apply(output, self._rng, fan_in=self.in_features)
+            output = self.config.noise.apply(output, rng or self._rng, fan_in=self.in_features)
         if self.config.adc is not None:
             output = self.config.adc.convert(output)
         return output
+
+    def matvec(self, inputs: np.ndarray, add_noise: bool = True) -> np.ndarray:
+        """One analog read (alias of :meth:`read_batch` for 1-D/2-D inputs)."""
+        return self.read_batch(inputs, add_noise=add_noise)
 
     def read_noise_std(self) -> float:
         """Additive noise standard deviation of a single read on this tile."""

@@ -79,6 +79,15 @@ class ThermometerEncoder:
         """Number of values exactly representable by this encoder."""
         return self.num_pulses + 1
 
+    @property
+    def accumulation_weights(self) -> np.ndarray:
+        """Per-pulse accumulation weights without materialising a train.
+
+        Lets the vectorized backend fold a whole train analytically
+        (``sum_i w_i pulse_i`` has noise scale ``||w||_2``).
+        """
+        return np.full(self.num_pulses, 1.0 / self.num_pulses)
+
     def positive_counts(self, values: np.ndarray) -> np.ndarray:
         """Number of +1 pulses used for each value."""
         values = np.asarray(values, dtype=np.float64)
@@ -97,8 +106,7 @@ class ThermometerEncoder:
         # Pulse i is +1 while i < count, else -1 (classic thermometer layout).
         indices = np.arange(self.num_pulses).reshape((self.num_pulses,) + (1,) * values.ndim)
         pulses = np.where(indices < counts[None, ...], 1.0, -1.0)
-        weights = np.full(self.num_pulses, 1.0 / self.num_pulses)
-        return PulseTrain(pulses=pulses, weights=weights)
+        return PulseTrain(pulses=pulses, weights=self.accumulation_weights)
 
     def quantisation_error(self, values: np.ndarray) -> np.ndarray:
         """Absolute error between the input and its encoded representation."""
@@ -137,6 +145,11 @@ class BitSlicingEncoder:
         """Accumulation weights ``2^i / (2^bits - 1)`` for ``i = 0..bits-1``."""
         powers = 2.0 ** np.arange(self.bits)
         return powers / powers.sum()
+
+    @property
+    def accumulation_weights(self) -> np.ndarray:
+        """Alias of :attr:`pulse_weights` (shared encoder protocol)."""
+        return self.pulse_weights
 
     def level_index(self, values: np.ndarray) -> np.ndarray:
         """Quantised level index in ``[0, 2^bits - 1]`` for each value."""

@@ -1,17 +1,19 @@
 """Pulse-train matrix-vector multiplication (paper Eqs. 2-4).
 
-Two execution paths are provided:
+:func:`pulsed_mvm` encodes the input values into a pulse train and hands the
+whole train to a simulation engine (see :mod:`repro.backend`):
 
-* :func:`pulsed_mvm` — the faithful simulation: the encoder produces a pulse
-  train, every pulse is driven through the crossbar as an independent noisy
-  analog read, and the weighted partial results are accumulated.  This is
-  ``O(num_pulses)`` crossbar reads and is used for validation and small
-  workloads.
-* :func:`folded_noisy_mvm` — the statistically equivalent fast path: because
-  the paper's noise model is additive Gaussian and independent across
-  pulses, accumulating ``p`` equally weighted reads is exactly one ideal MVM
-  of the decoded value plus ``N(0, sigma^2 / p)``.  Network-level
-  experiments use this path; the test-suite verifies the equivalence.
+* the :class:`~repro.backend.reference.ReferenceEngine` drives every pulse
+  through the crossbar as an independent noisy analog read — the faithful
+  ``O(num_pulses x num_tiles)`` simulation used for validation;
+* the :class:`~repro.backend.vectorized.VectorizedEngine` (default) batches
+  pulses x tiles x batch into a few matmul calls with one batched noise
+  draw — statistically identical because the Gaussian read noise is i.i.d.
+  across pulses and tiles.
+
+:func:`folded_noisy_mvm` is the closed-form single-shot equivalent for
+equal-weight (thermometer) trains, used by the network-level experiments;
+the test-suite verifies all paths agree.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.crossbar.array import CrossbarArray
-from repro.crossbar.encoding import BitSlicingEncoder, PulseTrain, ThermometerEncoder
+from repro.crossbar.encoding import BitSlicingEncoder, ThermometerEncoder
 from repro.crossbar.tiling import TiledCrossbar
 from repro.tensor.random import RandomState, default_rng
 
@@ -33,6 +35,7 @@ def pulsed_mvm(
     values: np.ndarray,
     encoder: Union[ThermometerEncoder, BitSlicingEncoder],
     add_noise: bool = True,
+    engine=None,
 ) -> np.ndarray:
     """Drive ``values`` through ``crossbar`` as a train of binary pulses.
 
@@ -46,29 +49,35 @@ def pulsed_mvm(
         Bit encoding scheme converting values to pulses.
     add_noise:
         Disable to obtain the ideal accumulated result.
+    engine:
+        Simulation engine (instance or registry name) executing the reads;
+        defaults to :func:`repro.backend.default_engine`.
     """
-    train: PulseTrain = encoder.encode(values)
-    output = None
-    for pulse_index in range(train.num_pulses):
-        pulse = train.pulses[pulse_index]
-        partial = crossbar.matvec(pulse, add_noise=add_noise)
-        weighted = train.weights[pulse_index] * partial
-        output = weighted if output is None else output + weighted
-    return output
+    from repro.backend import resolve_engine
+
+    return resolve_engine(engine).encoded_read(crossbar, values, encoder, add_noise=add_noise)
 
 
 def bit_sliced_mvm(
-    crossbar: Crossbar, values: np.ndarray, bits: int, add_noise: bool = True
+    crossbar: Crossbar, values: np.ndarray, bits: int, add_noise: bool = True, engine=None
 ) -> np.ndarray:
     """Convenience wrapper: :func:`pulsed_mvm` with a bit-slicing encoder."""
-    return pulsed_mvm(crossbar, values, BitSlicingEncoder(bits), add_noise=add_noise)
+    return pulsed_mvm(
+        crossbar, values, BitSlicingEncoder(bits), add_noise=add_noise, engine=engine
+    )
 
 
 def thermometer_mvm(
-    crossbar: Crossbar, values: np.ndarray, num_pulses: int, add_noise: bool = True
+    crossbar: Crossbar,
+    values: np.ndarray,
+    num_pulses: int,
+    add_noise: bool = True,
+    engine=None,
 ) -> np.ndarray:
     """Convenience wrapper: :func:`pulsed_mvm` with a thermometer encoder."""
-    return pulsed_mvm(crossbar, values, ThermometerEncoder(num_pulses), add_noise=add_noise)
+    return pulsed_mvm(
+        crossbar, values, ThermometerEncoder(num_pulses), add_noise=add_noise, engine=engine
+    )
 
 
 def folded_noisy_mvm(

@@ -42,6 +42,7 @@ class TiledCrossbar:
                 tile_weights = weights[col_start:col_end, row_start:row_end]
                 row_of_tiles.append(CrossbarArray(tile_weights, config=self.config, rng=self._rng))
             self._tiles.append(row_of_tiles)
+        self._assembled: Optional[np.ndarray] = None
 
     @staticmethod
     def _split_points(total: int, chunk: int) -> List[Tuple[int, int]]:
@@ -59,8 +60,40 @@ class TiledCrossbar:
         """Grid of tiles as ``(col_tiles, row_tiles)``."""
         return (len(self._col_splits), len(self._row_splits))
 
-    def matvec(self, inputs: np.ndarray, add_noise: bool = True) -> np.ndarray:
-        """Noisy MVM across all tiles with digital partial-sum accumulation."""
+    @property
+    def rng(self) -> RandomState:
+        """Random state shared by all tiles for noise sampling."""
+        return self._rng
+
+    @property
+    def assembled_effective_weights(self) -> np.ndarray:
+        """Effective analog weights of all tiles assembled into one matrix.
+
+        Lets an engine compute the ideal part of a full logical read as a
+        single matmul; computed lazily and cached (tiles are immutable).
+        """
+        if self._assembled is None:
+            full = np.zeros((self.out_features, self.in_features), dtype=np.float64)
+            for col_index, (col_start, col_end) in enumerate(self._col_splits):
+                for row_index, (row_start, row_end) in enumerate(self._row_splits):
+                    full[col_start:col_end, row_start:row_end] = self._tiles[col_index][
+                        row_index
+                    ].effective_weights
+            self._assembled = full
+        return self._assembled
+
+    def read_batch(
+        self,
+        inputs: np.ndarray,
+        add_noise: bool = True,
+        rng: Optional[RandomState] = None,
+    ) -> np.ndarray:
+        """Batched noisy MVM across all tiles with digital partial sums.
+
+        Accepts any number of leading batch dimensions — in particular a
+        whole pulse train ``(num_pulses, batch, in_features)`` — and performs
+        exactly one :meth:`CrossbarArray.read_batch` call per physical tile.
+        """
         inputs = np.asarray(inputs, dtype=np.float64)
         if inputs.shape[-1] != self.in_features:
             raise ValueError(
@@ -73,9 +106,15 @@ class TiledCrossbar:
             accumulator = np.zeros(batch_shape + (col_end - col_start,), dtype=np.float64)
             for row_index, (row_start, row_end) in enumerate(self._row_splits):
                 tile = self._tiles[col_index][row_index]
-                accumulator += tile.matvec(inputs[..., row_start:row_end], add_noise=add_noise)
+                accumulator += tile.read_batch(
+                    inputs[..., row_start:row_end], add_noise=add_noise, rng=rng
+                )
             output[..., col_start:col_end] = accumulator
         return output
+
+    def matvec(self, inputs: np.ndarray, add_noise: bool = True) -> np.ndarray:
+        """One logical read (alias of :meth:`read_batch` for 1-D/2-D inputs)."""
+        return self.read_batch(inputs, add_noise=add_noise)
 
     def read_noise_std(self) -> float:
         """Effective additive noise std of one full logical read.

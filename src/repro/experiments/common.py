@@ -94,8 +94,18 @@ def build_loaders(
 
 
 def build_model(profile: ExperimentProfile):
-    """Instantiate the profile's network with the profile's quantisation setup."""
+    """Instantiate the profile's network with the profile's quantisation setup.
+
+    The profile's ``backend`` selects the simulation engine of the encoded
+    layers (the ``REPRO_BACKEND`` environment variable overrides it).
+    """
     rng = RandomState(profile.seed + 2)
+    model = _build_model_architecture(profile, rng)
+    model.set_engine(os.environ.get("REPRO_BACKEND", profile.backend))
+    return model
+
+
+def _build_model_architecture(profile: ExperimentProfile, rng: RandomState):
     if profile.model == "vgg9":
         config = VGGConfig(
             num_classes=profile.num_classes,

@@ -54,6 +54,9 @@ class ExperimentProfile:
     noise_relative_to_fan_in: bool = False
     eval_repeats: int = 1
     seed: int = 2022
+    #: Simulation backend for the encoded layers' noisy reads
+    #: ("vectorized" | "reference"; see :mod:`repro.backend`).
+    backend: str = "vectorized"
 
     @property
     def base_pulses(self) -> int:

@@ -98,6 +98,11 @@ class CrossbarLeNet(Module):
         for layer in self.encoded_layers():
             layer.set_noise(sigma, relative_to_fan_in=relative_to_fan_in)
 
+    def set_engine(self, engine) -> None:
+        """Set the simulation backend (engine instance or name) of all encoded layers."""
+        for layer in self.encoded_layers():
+            layer.set_engine(engine)
+
     def set_schedule(self, schedule: PulseSchedule) -> None:
         """Assign per-layer pulse counts."""
         layers = self.encoded_layers()

@@ -53,6 +53,7 @@ def noisy_accuracy(
     schedule: Optional[PulseSchedule] = None,
     sigma_relative_to_fan_in: Optional[bool] = None,
     num_repeats: int = 1,
+    engine=None,
 ) -> float:
     """Accuracy under crossbar noise with an optional per-layer pulse schedule.
 
@@ -68,11 +69,16 @@ def noisy_accuracy(
     num_repeats:
         Number of independent noisy evaluations to average (noise is random,
         so repeated evaluation reduces the variance of the estimate).
+    engine:
+        Simulation backend (engine instance or name, see :mod:`repro.backend`)
+        to pin on the encoded layers; defaults to whatever they already use.
     """
     if num_repeats < 1:
         raise ValueError(f"num_repeats must be positive, got {num_repeats}")
     model.set_mode("noisy")
     model.set_noise(sigma, relative_to_fan_in=sigma_relative_to_fan_in)
+    if engine is not None:
+        model.set_engine(engine)
     if schedule is not None:
         model.set_schedule(schedule)
     accuracies = [evaluate_accuracy(model, loader) for _ in range(num_repeats)]

@@ -122,7 +122,11 @@ class TestNoisyForward:
 
         folded = linear_layer(Tensor(x)).data
         config = CrossbarConfig(noise=GaussianReadNoise(sigma))
-        simulated = linear_layer.simulate_pulsed_forward(x, crossbar_config=config)
+        # Pin the reference engine so this really is the per-pulse simulation
+        # (the default vectorized engine would fold, same as the layer path).
+        simulated = linear_layer.simulate_pulsed_forward(
+            x, crossbar_config=config, engine="reference"
+        )
 
         quantised = np.round((np.clip(x, -1, 1) + 1) * 0.5 * 8) / 8 * 2 - 1
         ideal = quantised @ np.sign(linear_layer.weight.data).T

@@ -8,6 +8,8 @@ profile scale.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # pre-trains models; skipped by -m "not slow"
+
 from repro.experiments import (
     EXPERIMENTS,
     describe_experiments,

@@ -14,6 +14,8 @@ than any specific accuracy number:
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # full pipeline at miniature scale; -m "not slow" skips
+
 from repro.core import (
     GBOConfig,
     GBOTrainer,
