@@ -1,0 +1,119 @@
+"""Benchmark E8 — GBO training-step throughput on the VGG9 profile.
+
+Times a full GBO optimisation step (forward with the Eq. 5 candidate
+mixture, backward to the logits, Adam update) on the fast-profile VGG9
+network for both simulation engines.  The reference engine executes one
+ideal crossbar read per candidate encoding in Omega (|Omega| = 7) per
+encoded layer per step; the vectorized engine folds the whole candidate
+space into a single read plus one stacked noise draw, so the GBO stage —
+the most expensive part of the Table I / Table II drivers — runs several
+times faster.
+
+The acceptance bar is a >= 5x step-throughput speedup; the measured numbers
+are persisted to ``benchmarks/results/BENCH_gbo.json`` alongside the pulsed
+MVM tracking in ``BENCH_engine.json``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.core.gbo import GBOConfig, GBOTrainer
+from repro.core.search_space import PulseScalingSpace
+from repro.data import DataLoader, SyntheticImageConfig, SyntheticImageDataset
+from repro.experiments.common import build_model
+from repro.experiments.profiles import get_profile
+from repro.tensor.random import RandomState
+from repro.utils.seed import seed_everything
+
+#: Number of GBO optimisation steps timed per engine (1 epoch x NUM_BATCHES).
+NUM_BATCHES = 2
+BATCH_SIZE = 32
+MIN_SPEEDUP = 5.0
+
+
+def _gbo_loader(profile):
+    dataset = SyntheticImageDataset(
+        NUM_BATCHES * BATCH_SIZE,
+        config=SyntheticImageConfig(
+            num_classes=profile.num_classes, image_size=profile.image_size
+        ),
+        seed=profile.seed,
+    )
+    return DataLoader(dataset, batch_size=BATCH_SIZE, shuffle=True, rng=RandomState(1))
+
+
+def _time_gbo_steps(profile, engine_name) -> float:
+    """Wall-clock seconds for ``NUM_BATCHES`` GBO steps on a fresh model."""
+    seed_everything(profile.seed)
+    model = build_model(profile)
+    model.set_noise(profile.sigmas[0], relative_to_fan_in=profile.noise_relative_to_fan_in)
+    loader = _gbo_loader(profile)
+    trainer = GBOTrainer(
+        model,
+        GBOConfig(
+            space=PulseScalingSpace(base_pulses=profile.base_pulses),
+            gamma=profile.gamma_short,
+            learning_rate=profile.gbo_lr,
+            epochs=1,
+        ),
+        engine=engine_name,
+    )
+    start = time.perf_counter()
+    result = trainer.train(loader)
+    elapsed = time.perf_counter() - start
+    assert len(result.history) == NUM_BATCHES
+    return elapsed
+
+
+def test_gbo_step_throughput_speedup(capsys, results_dir):
+    profile = get_profile("fast")
+    assert profile.model == "vgg9"
+
+    reference_s = _time_gbo_steps(profile, "reference")
+    vectorized_s = _time_gbo_steps(profile, "vectorized")
+    reference_sps = NUM_BATCHES / reference_s
+    vectorized_sps = NUM_BATCHES / vectorized_s
+    speedup = reference_s / vectorized_s
+
+    record = {
+        "workload": {
+            "profile": profile.name,
+            "model": profile.model,
+            "image_size": profile.image_size,
+            "width_multiplier": profile.width_multiplier,
+            "batch_size": BATCH_SIZE,
+            "steps": NUM_BATCHES,
+            "num_candidates": PulseScalingSpace(base_pulses=profile.base_pulses).num_options,
+            "sigma": profile.sigmas[0],
+        },
+        "reference_steps_per_sec": reference_sps,
+        "vectorized_steps_per_sec": vectorized_sps,
+        "reference_s_per_step": reference_s / NUM_BATCHES,
+        "vectorized_s_per_step": vectorized_s / NUM_BATCHES,
+        "speedup": speedup,
+        "min_required_speedup": MIN_SPEEDUP,
+    }
+    with open(os.path.join(results_dir, "BENCH_gbo.json"), "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    report = "\n".join(
+        [
+            "GBO training-step throughput, fast-profile VGG9",
+            f"  workload: {BATCH_SIZE}-sample batches, {record['workload']['num_candidates']} "
+            f"candidate encodings, 7 encoded layers",
+            f"  ReferenceEngine : {reference_sps:8.3f} steps/s "
+            f"({reference_s / NUM_BATCHES * 1e3:8.1f} ms / step)",
+            f"  VectorizedEngine: {vectorized_sps:8.3f} steps/s "
+            f"({vectorized_s / NUM_BATCHES * 1e3:8.1f} ms / step)",
+            f"  speedup         : {speedup:8.1f}x  (required >= {MIN_SPEEDUP:.0f}x)",
+            "  artifact        : benchmarks/results/BENCH_gbo.json",
+        ]
+    )
+    emit_report(capsys, results_dir, "gbo_throughput", report)
+
+    assert speedup >= MIN_SPEEDUP

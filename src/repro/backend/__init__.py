@@ -13,6 +13,12 @@ subpackage isolates it behind the :class:`SimulationEngine` interface:
   paper's Gaussian read noise is i.i.d. across pulses and tiles.  The default
   engine for all drivers and benchmarks.
 
+The same split covers the GBO training stage (Eq. 5): the engines'
+``gbo_mixture_read`` evaluates the softmax mixture over the candidate
+encoding space Omega either as one literal crossbar read per candidate
+(reference) or as a single batched read plus one stacked noise draw
+(vectorized).
+
 Engine selection: pass an engine (or its name) explicitly to
 :func:`repro.crossbar.mvm.pulsed_mvm` or a layer's ``set_engine``, set the
 ``REPRO_BACKEND`` environment variable (``"vectorized"`` / ``"reference"``),

@@ -1,12 +1,15 @@
 """The :class:`SimulationEngine` interface and engine registry.
 
-An engine answers three questions for the rest of the library:
+An engine answers four questions for the rest of the library:
 
 1. how to execute a full pulse-train crossbar read (:meth:`pulsed_read`),
 2. how to sample the accumulated read noise of a folded layer forward
-   (:meth:`folded_read_noise`), and
+   (:meth:`folded_read_noise`),
 3. how to sample the GBO mixture noise of Eq. 5
-   (:meth:`gbo_mixture_noise`).
+   (:meth:`gbo_mixture_noise`), and
+4. how to evaluate the full GBO candidate mixture — the ideal crossbar read
+   of every candidate encoding plus its reparameterised noise — in one
+   differentiable forward (:meth:`gbo_mixture_read`).
 
 Implementations must be *statistically* interchangeable: for every method the
 returned distribution is fixed by the paper's model, only the number of numpy
@@ -17,7 +20,7 @@ calls (and hence the draw layout) may differ.  The equivalence is enforced by
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -111,6 +114,40 @@ class SimulationEngine:
         ``alphas`` are the softmax importance weights (a differentiable
         :class:`Tensor`); gradients must flow from the returned noise back to
         the logits.
+        """
+        raise NotImplementedError
+
+    def gbo_mixture_read(
+        self,
+        read_op: Callable[[], Tensor],
+        alphas: Tensor,
+        scales: Sequence[float],
+        rng: RandomState,
+    ) -> Tensor:
+        """Softmax mixture of per-candidate noisy crossbar reads (Eq. 5).
+
+        Evaluates ``sum_k alpha_k * (read_k + scale_k * eps_k)`` where
+        ``read_op`` performs one ideal (noise-free) crossbar read of the
+        layer and ``scale_k`` is the accumulated noise deviation of candidate
+        encoding ``k``.  Because ``read_op`` is deterministic and the noises
+        are i.i.d. Gaussian, an engine may execute one read per candidate
+        (reference) or a single read plus one stacked noise draw
+        (vectorized); both consume identical samples from ``rng`` and
+        gradients reach the logits through ``alphas`` either way.
+
+        Parameters
+        ----------
+        read_op:
+            Zero-argument callable returning the ideal layer output as a
+            differentiable :class:`Tensor`.  Must be re-invocable: the
+            reference engine calls it once per candidate.
+        alphas:
+            Softmax importance weights over the candidate space Omega.
+        scales:
+            Per-candidate accumulated noise standard deviations
+            ``sigma / sqrt(n_k p)``.
+        rng:
+            Random state for the candidate noise draws.
         """
         raise NotImplementedError
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +70,24 @@ class ReferenceEngine(SimulationEngine):
         for option_index, scale in enumerate(scales):
             eps = Tensor(rng.normal(0.0, 1.0, size=shape) * float(scale))
             term = alphas[option_index] * eps
+            total = term if total is None else total + term
+        return total
+
+    def gbo_mixture_read(
+        self,
+        read_op: Callable[[], Tensor],
+        alphas: Tensor,
+        scales: Sequence[float],
+        rng: RandomState,
+    ) -> Tensor:
+        # Eq. 5 executed literally: one crossbar read per candidate encoding,
+        # each with its own accumulated noise draw, mixed by the softmax
+        # weights.  O(|Omega|) reads per layer per step.
+        total: Optional[Tensor] = None
+        for option_index, scale in enumerate(scales):
+            read = read_op()
+            eps = Tensor(rng.normal(0.0, 1.0, size=read.shape) * float(scale))
+            term = alphas[option_index] * (read + eps)
             total = term if total is None else total + term
         return total
 

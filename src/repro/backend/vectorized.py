@@ -3,7 +3,9 @@
 Two execution strategies, picked per crossbar:
 
 * **Folded Gaussian path** — with ideal converters and (at most) additive
-  Gaussian read noise, the accumulated read ``sum_p w_p (pulse_p @ W^T +
+  Gaussian read noise (including :class:`~repro.crossbar.noise.CompositeNoise`
+  stacks whose members are all additive Gaussian, which collapse to one
+  equivalent variance), the accumulated read ``sum_p w_p (pulse_p @ W^T +
   eps_p)`` equals ``decode(train) @ W^T + N(0, std^2 * ||w||^2)`` where
   ``std`` is the noise of one full logical read (tile partial sums add in
   quadrature).  One matmul over the assembled tile conductances plus one
@@ -25,7 +27,7 @@ the equivalence on multi-tile crossbars.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -89,13 +91,14 @@ class VectorizedEngine(SimulationEngine):
 
     @staticmethod
     def _can_fold(crossbar, add_noise: bool) -> bool:
-        from repro.crossbar.noise import GaussianReadNoise, NoNoise
-
         if not _converters_ideal(crossbar.config):
             return False
         if not add_noise:
             return True
-        return type(crossbar.config.noise) in (NoNoise, GaussianReadNoise)
+        # Covers NoNoise, GaussianReadNoise and CompositeNoise stacks whose
+        # members are all additive Gaussian (their variances fold in
+        # quadrature through read_noise_std / std_for).
+        return crossbar.config.noise.is_additive_gaussian
 
     @staticmethod
     def _fold_decoded(
@@ -138,6 +141,24 @@ class VectorizedEngine(SimulationEngine):
         scaled = eps * scales_arr.reshape((num_options,) + (1,) * len(shape))
         mixed = alphas.reshape(1, num_options).matmul(Tensor(scaled.reshape(num_options, -1)))
         return mixed.reshape(*shape)
+
+    def gbo_mixture_read(
+        self,
+        read_op: Callable[[], Tensor],
+        alphas: Tensor,
+        scales: Sequence[float],
+        rng: RandomState,
+    ) -> Tensor:
+        # The candidate reads only differ in their noise, so the |Omega|
+        # per-candidate reads of the reference loop collapse to one read plus
+        # one stacked mixture draw: sum_k alpha_k (read + n_k) =
+        # sum(alphas) * read + sum_k alpha_k n_k.  The explicit sum(alphas)
+        # factor (= 1 for softmax weights) keeps the gradient graph of the
+        # reference loop, where the read reaches the logits through every
+        # alpha_k.
+        read = read_op()
+        noise = self.gbo_mixture_noise(alphas, scales, read.shape, rng)
+        return alphas.sum() * read + noise
 
 
 VECTORIZED_ENGINE = register_engine(VectorizedEngine())

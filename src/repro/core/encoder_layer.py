@@ -17,9 +17,13 @@ crossbar.  They support three forward modes:
     drives the full pulse train through a
     :class:`~repro.crossbar.tiling.TiledCrossbar` via the same engine.
 ``gbo``
-    Training mode of Section III-A: the layer mixes the noise of every
+    Training mode of Section III-A: the layer mixes the noisy reads of every
     candidate pulse length with the softmax weights ``alpha_k`` derived from
     its learnable logits ``lambda_k`` (Eq. 5), so gradients reach the logits.
+    The whole candidate mixture is one engine primitive
+    (:meth:`~repro.backend.engine.SimulationEngine.gbo_mixture_read`): the
+    reference engine performs one crossbar read per candidate, the vectorized
+    engine folds Omega into a single read plus one stacked noise draw.
 """
 
 from __future__ import annotations
@@ -163,21 +167,23 @@ class EncodedLayerMixin:
         best = int(np.argmax(self.gbo_logits.data))
         return self.gbo_space.pulses_for(best)
 
-    def _gbo_noise(self, shape) -> Tensor:
-        """Reparameterised mixture noise ``sum_k alpha_k eps_k sigma/sqrt(n_k p)``.
-
-        Fresh standard-normal draws ``eps_k`` are taken per forward call; the
-        noise magnitude of every candidate encoding is weighted by its
-        importance ``alpha_k`` so the gradient of the loss w.r.t. the logits
-        reflects how much accuracy suffers under that candidate's noise.  The
-        engine decides whether the draws happen per candidate (reference) or
-        as one batched sample (vectorized); gradients flow to the logits
-        either way.
-        """
-        alphas = self.gbo_alphas()
+    def _gbo_noise_scales(self) -> List[float]:
+        """Accumulated noise deviation ``sigma / sqrt(n_k p)`` per candidate."""
         sigma = self.effective_sigma()
-        scales = [sigma / np.sqrt(float(pulses)) for pulses in self.gbo_space.pulse_counts]
-        return self.engine.gbo_mixture_noise(alphas, scales, shape, self.noise_rng)
+        return [sigma / np.sqrt(float(pulses)) for pulses in self.gbo_space.pulse_counts]
+
+    def _gbo_mixture_forward(self, read_op) -> Tensor:
+        """One GBO forward: the engine's candidate-mixture read (Eq. 5).
+
+        ``read_op`` performs this layer's ideal crossbar read.  The engine
+        decides whether all candidates in Omega are evaluated by literal
+        per-candidate reads (reference oracle) or folded into a single read
+        plus one stacked noise draw (vectorized); gradients reach the logits
+        through the softmax weights either way.
+        """
+        return self.engine.gbo_mixture_read(
+            read_op, self.gbo_alphas(), self._gbo_noise_scales(), self.noise_rng
+        )
 
     # ------------------------------------------------------------------
     # Input encoding
@@ -197,8 +203,29 @@ class EncodedLayerMixin:
         approximated = pla_approximate(quantised.data, self.num_pulses, mode=self.pla_mode)
         return quantised.with_data(approximated)
 
+    def _crossbar_forward(self, encoded: Tensor) -> Tensor:
+        """Dispatch one encoded-activation forward to the current mode.
+
+        ``gbo`` mode hands the whole candidate mixture (ideal read included)
+        to the engine so all of Omega is evaluated in one primitive; the
+        other modes perform a single ideal read and add the mode's noise.
+        """
+        if self.mode == "gbo" and self.effective_sigma() > 0:
+            return self._gbo_mixture_forward(lambda: self._ideal_read(encoded))
+        return self._apply_output_noise(self._ideal_read(encoded))
+
+    def _ideal_read(self, encoded: Tensor) -> Tensor:
+        """One ideal (noise-free) crossbar read of the encoded activation."""
+        raise NotImplementedError
+
     def _apply_output_noise(self, output: Tensor) -> Tensor:
-        """Add the crossbar read noise appropriate for the current mode."""
+        """Add the crossbar read noise appropriate for the current mode.
+
+        ``gbo`` mode reaches this only at sigma == 0, where the candidate
+        reads are all identical and the mixture degenerates to the ideal
+        read; ``_crossbar_forward`` routes the sigma > 0 mixture through the
+        engine's ``gbo_mixture_read``.
+        """
         if self.mode == "noisy":
             sigma = self.effective_sigma()
             if sigma > 0:
@@ -206,9 +233,6 @@ class EncodedLayerMixin:
                     output.shape, sigma, self.num_pulses, self.noise_rng
                 )
                 output = output + Tensor(noise)
-        elif self.mode == "gbo":
-            if self.effective_sigma() > 0:
-                output = output + self._gbo_noise(output.shape)
         return output
 
     # ------------------------------------------------------------------
@@ -269,17 +293,18 @@ class EncodedConv2d(QuantConv2d, EncodedLayerMixin):
 
         return binary_sign(self.weight.data).reshape(self.out_channels, -1)
 
-    def forward(self, x: Tensor) -> Tensor:
-        encoded = self._encode_input(x)
-        batch, _, height, width = x.shape
+    def _ideal_read(self, encoded: Tensor) -> Tensor:
+        batch, _, height, width = encoded.shape
         out_h = F.conv_output_size(height, self.kernel_size, self.stride, self.padding)
         out_w = F.conv_output_size(width, self.kernel_size, self.stride, self.padding)
         cols = F.im2col_tensor(encoded, self.kernel_size, self.stride, self.padding)
         kernel_matrix = self.binary_weight().reshape(self.out_channels, -1)
         out = kernel_matrix.matmul(cols)
         # im2col orders columns spatial-major (out_h, out_w, batch); undo that.
-        out = out.reshape(self.out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
-        return self._apply_output_noise(out)
+        return out.reshape(self.out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._crossbar_forward(self._encode_input(x))
 
     def __repr__(self) -> str:
         return (
@@ -323,10 +348,11 @@ class EncodedLinear(QuantLinear, EncodedLayerMixin):
 
         return binary_sign(self.weight.data)
 
+    def _ideal_read(self, encoded: Tensor) -> Tensor:
+        return encoded.matmul(self.binary_weight().transpose())
+
     def forward(self, x: Tensor) -> Tensor:
-        encoded = self._encode_input(x)
-        out = encoded.matmul(self.binary_weight().transpose())
-        return self._apply_output_noise(out)
+        return self._crossbar_forward(self._encode_input(x))
 
     def simulate_pulsed_forward(
         self,

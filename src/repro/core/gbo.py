@@ -6,7 +6,11 @@ scaling space Omega.  During GBO training every forward pass mixes the read
 noise of all candidate encodings with the softmax weights ``alpha_k``
 (Eq. 5) so the classification loss "feels" how harmful each candidate's
 noise is in that layer; the latency regulariser ``gamma * sum alpha_k n_k p``
-pushes towards short encodings (Eq. 6).  After training, each layer selects
+pushes towards short encodings (Eq. 6).  The candidate mixture is executed
+by the layers' :class:`~repro.backend.engine.SimulationEngine` — one crossbar
+read per candidate on the reference engine, a single batched read plus one
+stacked noise draw on the vectorized engine (statistically identical; see
+``tests/backend/test_gbo_engine_equivalence.py``).  After training, each layer selects
 the candidate with the maximum logit (Eq. 7's argmax rule) and the resulting
 heterogeneous :class:`~repro.core.schedule.PulseSchedule` is used for noisy
 inference.
@@ -64,6 +68,10 @@ class GBOConfig:
             raise ValueError(f"epochs must be positive, got {self.epochs}")
         if self.learning_rate <= 0:
             raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.log_every < 0:
+            raise ValueError(
+                f"log_every must be non-negative (0 disables logging), got {self.log_every}"
+            )
 
 
 @dataclass
@@ -103,11 +111,19 @@ class GBOTrainer:
         layers in forward order (e.g. :class:`repro.models.VGG9`).
     config:
         GBO hyper-parameters.
+    engine:
+        Simulation engine (instance or registry name) pinned on every encoded
+        layer for the duration of training; each GBO forward evaluates the
+        Eq. 5 candidate mixture through
+        :meth:`~repro.backend.engine.SimulationEngine.gbo_mixture_read` of
+        this engine.  ``None`` keeps whatever engine each layer already uses
+        (ultimately the process-wide default).
     """
 
-    def __init__(self, model, config: Optional[GBOConfig] = None):
+    def __init__(self, model, config: Optional[GBOConfig] = None, engine=None):
         self.model = model
         self.config = config or GBOConfig()
+        self.engine = engine
         self._layers: List[EncodedLayerMixin] = list(model.encoded_layers())
         if not self._layers:
             raise ValueError("model has no encoded layers to optimise")
@@ -131,35 +147,51 @@ class GBOTrainer:
         for layer in self._layers:
             layer.set_mode("gbo")
 
+        # Pin the requested engine for the duration of training only; the
+        # layers' previous pins (possibly "track the process default") are
+        # restored afterwards so later evaluations keep their own backend.
+        previous_engines = None
+        if self.engine is not None:
+            previous_engines = [layer._engine for layer in self._layers]
+            for layer in self._layers:
+                layer.set_engine(self.engine)
+
         optimizer = Adam(logits, lr=config.learning_rate)
         history: List[Dict[str, float]] = []
         step = 0
-        for epoch in range(config.epochs):
-            for inputs, targets in loader:
-                optimizer.zero_grad()
-                outputs = self.model(Tensor(inputs))
-                ce_loss = F.cross_entropy(outputs, targets)
-                latency = self._latency_term()
-                loss = ce_loss + latency * config.gamma
-                loss.backward()
-                optimizer.step()
-                step += 1
-                record = {
-                    "epoch": float(epoch),
-                    "step": float(step),
-                    "loss": float(loss.data),
-                    "cross_entropy": float(ce_loss.data),
-                    "expected_latency": float(latency.data),
-                }
-                history.append(record)
-                if config.log_every and step % config.log_every == 0:
-                    LOGGER.info(
-                        "gbo step %d: loss=%.4f ce=%.4f latency=%.2f",
-                        step,
-                        record["loss"],
-                        record["cross_entropy"],
-                        record["expected_latency"],
-                    )
+        try:
+            for epoch in range(config.epochs):
+                for inputs, targets in loader:
+                    optimizer.zero_grad()
+                    outputs = self.model(Tensor(inputs))
+                    ce_loss = F.cross_entropy(outputs, targets)
+                    latency = self._latency_term()
+                    loss = ce_loss + latency * config.gamma
+                    loss.backward()
+                    optimizer.step()
+                    step += 1
+                    record = {
+                        "epoch": float(epoch),
+                        "step": float(step),
+                        "loss": float(loss.data),
+                        "cross_entropy": float(ce_loss.data),
+                        "expected_latency": float(latency.data),
+                    }
+                    history.append(record)
+                    if config.log_every and step % config.log_every == 0:
+                        LOGGER.info(
+                            "gbo step %d: loss=%.4f ce=%.4f latency=%.2f",
+                            step,
+                            record["loss"],
+                            record["cross_entropy"],
+                            record["expected_latency"],
+                        )
+        finally:
+            if previous_engines is not None:
+                for layer, previous in zip(self._layers, previous_engines):
+                    # previous is either a pinned engine instance or None
+                    # (track the process default) — set_engine handles both.
+                    layer.set_engine(previous)
         result = self._finalise(history)
         self._apply_schedule(result.schedule)
         return result

@@ -9,7 +9,14 @@ whole train to a simulation engine (see :mod:`repro.backend`):
 * the :class:`~repro.backend.vectorized.VectorizedEngine` (default) batches
   pulses x tiles x batch into a few matmul calls with one batched noise
   draw — statistically identical because the Gaussian read noise is i.i.d.
-  across pulses and tiles.
+  across pulses and tiles.  This fast path also covers
+  :class:`~repro.crossbar.noise.CompositeNoise` stacks whose members are all
+  additive Gaussian (gated by ``NoiseModel.is_additive_gaussian``): the
+  stack's variance already folds in quadrature through ``std_for`` /
+  ``read_noise_std``, so only genuinely non-Gaussian models (multiplicative
+  variation, stuck-at faults) or non-ideal converters fall back to the
+  batched per-tile path.  :meth:`CompositeNoise.fold` exposes the same
+  collapse as an explicit equivalent model.
 
 :func:`folded_noisy_mvm` is the closed-form single-shot equivalent for
 equal-weight (thermometer) trains, used by the network-level experiments;

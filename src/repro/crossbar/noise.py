@@ -43,12 +43,28 @@ class NoiseModel:
         """Effective additive-noise standard deviation (0 if not applicable)."""
         return 0.0
 
+    @property
+    def is_additive_gaussian(self) -> bool:
+        """True when :meth:`apply` adds zero-mean Gaussian noise of exactly
+        the deviation reported by :meth:`std_for` (and nothing else).
+
+        Such models can be folded by the vectorized engine: sums of
+        independent Gaussians are Gaussian, so any accumulation of reads
+        collapses to a single equivalent draw.  Multiplicative or structured
+        models (device variation, stuck-at faults) must return ``False``.
+        """
+        return False
+
 
 class NoNoise(NoiseModel):
     """Ideal, noiseless crossbar."""
 
     def apply(self, output: np.ndarray, rng: RandomState, fan_in: int = 1) -> np.ndarray:
         return output
+
+    @property
+    def is_additive_gaussian(self) -> bool:
+        return True  # the degenerate N(0, 0) case
 
     def __repr__(self) -> str:
         return "NoNoise()"
@@ -85,6 +101,10 @@ class GaussianReadNoise(NoiseModel):
         if std == 0.0:
             return output
         return output + rng.normal(0.0, std, size=output.shape)
+
+    @property
+    def is_additive_gaussian(self) -> bool:
+        return True
 
     def __repr__(self) -> str:
         return f"GaussianReadNoise(sigma={self.sigma}, relative_to_fan_in={self.relative_to_fan_in})"
@@ -144,6 +164,31 @@ class CompositeNoise(NoiseModel):
         for model in self.models:
             output = model.apply(output, rng, fan_in=fan_in)
         return output
+
+    @property
+    def is_additive_gaussian(self) -> bool:
+        return all(model.is_additive_gaussian for model in self.models)
+
+    def fold(self, fan_in: int = 1) -> Optional[GaussianReadNoise]:
+        """Collapse an all-Gaussian stack to one equivalent noise model.
+
+        A sequence of independent additive Gaussian perturbations is itself
+        Gaussian with the member variances summed, so the whole stack is
+        equivalent to a single :class:`GaussianReadNoise` whose variance is
+        ``sum_i std_i(fan_in)^2``.  Returns ``None`` when any member is not
+        additive Gaussian (multiplicative or structured noise does not
+        commute into a single draw); callers must then fall back to applying
+        the stack member by member.
+
+        Parameters
+        ----------
+        fan_in:
+            Array fan-in at which fan-in-relative members are evaluated; the
+            returned model carries the resulting absolute deviation.
+        """
+        if not self.is_additive_gaussian:
+            return None
+        return GaussianReadNoise(self.std_for(fan_in))
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(model) for model in self.models)

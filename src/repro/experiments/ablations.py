@@ -184,12 +184,15 @@ def run_gamma_tradeoff(
     sigma: Optional[float] = None,
     profile: Optional[ExperimentProfile] = None,
     bundle: Optional[ExperimentBundle] = None,
+    gbo_engine=None,
 ) -> List[GammaTradeoffRow]:
     """A3: sweep the latency weight gamma of the GBO objective (Eq. 6).
 
     Larger gamma should push the selected schedules towards fewer pulses
     (lower latency, more noise, lower accuracy) — the trade-off the paper's
-    two GBO rows per noise level sample at two points.
+    two GBO rows per noise level sample at two points.  ``gbo_engine``
+    optionally pins a simulation engine for the GBO trainings (``None``
+    keeps the profile's backend).
     """
     bundle = bundle or get_pretrained_bundle(profile)
     profile = bundle.profile
@@ -208,6 +211,7 @@ def run_gamma_tradeoff(
                 learning_rate=profile.gbo_lr,
                 epochs=profile.gbo_epochs,
             ),
+            engine=gbo_engine,
         )
         gbo_result = trainer.train(bundle.gbo_loader)
         accuracy = noisy_accuracy(

@@ -122,6 +122,7 @@ def run_table1(
     sigmas: Optional[Sequence[float]] = None,
     pla_pulse_counts: Sequence[int] = (10, 12, 14, 16),
     include_gbo: bool = True,
+    gbo_engine=None,
 ) -> Table1Result:
     """Reproduce Table I on the profile's pre-trained model.
 
@@ -138,6 +139,11 @@ def run_table1(
         Uniform PLA schedules to evaluate.
     include_gbo:
         Allow skipping the (expensive) GBO rows, used by smoke tests.
+    gbo_engine:
+        Simulation engine (instance or registry name) for the GBO training
+        rows; ``None`` keeps the profile's backend.  The GBO stage dominates
+        the driver's runtime, so forcing ``"vectorized"`` here (the default
+        via profiles) folds every candidate mixture into one batched read.
     """
     bundle = bundle or get_pretrained_bundle(profile)
     profile = bundle.profile
@@ -205,6 +211,7 @@ def run_table1(
                     learning_rate=profile.gbo_lr,
                     epochs=profile.gbo_epochs,
                 ),
+                engine=gbo_engine,
             )
             gbo_result = trainer.train(bundle.gbo_loader)
             accuracy = noisy_accuracy(

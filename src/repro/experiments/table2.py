@@ -112,6 +112,7 @@ def run_table2(
     sigmas: Optional[Sequence[float]] = None,
     nia_pla_pulses: int = 10,
     gbo_gamma: Optional[float] = None,
+    gbo_engine=None,
 ) -> Table2Result:
     """Reproduce Table II on the profile's pre-trained model.
 
@@ -127,6 +128,9 @@ def run_table2(
         pre-trained model would let the latency term dominate and collapse
         the schedule to the shortest pulses.  The paper's Table II likewise
         reports GBO at its accuracy-leaning operating point.
+    gbo_engine:
+        Simulation engine (instance or registry name) for the GBO and
+        NIA+GBO rows; ``None`` keeps the profile's backend.
     """
     bundle = bundle or get_pretrained_bundle(profile)
     profile = bundle.profile
@@ -159,6 +163,7 @@ def run_table2(
                 learning_rate=profile.gbo_lr,
                 epochs=profile.gbo_epochs,
             ),
+            engine=gbo_engine,
         )
         gbo_result = trainer.train(bundle.gbo_loader)
         model.requires_grad_(True)

@@ -196,6 +196,29 @@ class TestTiledStatisticalEquivalence:
         expected_std = crossbar.read_noise_std() * np.sqrt(np.sum(encoder.pulse_weights**2))
         assert np.std(out - ideal) == pytest.approx(expected_std, rel=0.05)
 
+    def test_composite_gaussian_stack_folds_and_matches_reference(self, rng):
+        """An all-Gaussian CompositeNoise stack takes the folded fast path
+        with the member variances summed in quadrature."""
+        from repro.backend import VectorizedEngine
+        from repro.crossbar import CompositeNoise
+
+        weights = _binary_weights(rng)
+        members = [GaussianReadNoise(1.0), GaussianReadNoise(1.5)]
+        values = rng.choice(np.linspace(-1, 1, 9), size=(3000, 48))
+        ideal = values @ weights.T
+        stds = {}
+        for engine in ("reference", "vectorized"):
+            crossbar = _tiled(weights, CompositeNoise(list(members)), seed=SEED)
+            if engine == "vectorized":
+                assert VectorizedEngine._can_fold(crossbar, add_noise=True)
+            out = pulsed_mvm(crossbar, values, ThermometerEncoder(8), engine=engine)
+            stds[engine] = np.std((out - ideal).reshape(-1))
+        # 3 row-tiles of folded per-read variance (1^2 + 1.5^2), averaged
+        # over 8 equal-weight pulses.
+        expected = np.sqrt((1.0**2 + 1.5**2) * 3 / 8)
+        assert stds["vectorized"] == pytest.approx(stds["reference"], rel=0.05)
+        assert stds["vectorized"] == pytest.approx(expected, rel=0.05)
+
     def test_multiplicative_noise_falls_back_and_matches_reference(self, rng):
         """Non-Gaussian noise routes through the batched tile path; the
         distribution still matches the reference loop."""

@@ -53,6 +53,13 @@ class TestGBOConfig:
         with pytest.raises(ValueError):
             GBOConfig(learning_rate=0.0)
 
+    def test_log_every_validation(self):
+        with pytest.raises(ValueError, match="log_every"):
+            GBOConfig(log_every=-1)
+        # 0 (logging disabled) and positive cadences are both valid.
+        assert GBOConfig(log_every=0).log_every == 0
+        assert GBOConfig(log_every=25).log_every == 25
+
 
 class TestGBOTrainer:
     def test_requires_encoded_layers(self):

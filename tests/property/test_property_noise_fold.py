@@ -1,0 +1,102 @@
+"""Property-based tests for the ``CompositeNoise`` Gaussian fold.
+
+The vectorized engine folds a whole ``CompositeNoise`` stack into one
+equivalent Gaussian draw whenever every member is additive Gaussian; these
+tests pin the algebra (variances add) and the refusal behaviour (any
+non-Gaussian member disables the fold and forces the batched per-tile
+fallback).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import VectorizedEngine
+from repro.crossbar import (
+    CompositeNoise,
+    CrossbarConfig,
+    DeviceVariationNoise,
+    GaussianReadNoise,
+    NoNoise,
+    StuckAtFaultNoise,
+    TiledCrossbar,
+)
+from repro.tensor.random import RandomState
+
+_settings = settings(max_examples=50, deadline=None)
+
+sigmas = st.lists(
+    st.floats(min_value=0.0, max_value=20.0, allow_nan=False), min_size=1, max_size=6
+)
+fan_ins = st.integers(min_value=1, max_value=2048)
+
+
+def _crossbar(noise, rows=12, cols=8):
+    weights = np.where(RandomState(0).uniform(size=(cols, rows)) < 0.5, -1.0, 1.0)
+    config = CrossbarConfig(noise=noise, max_rows=8, max_cols=8)
+    return TiledCrossbar(weights, config=config, rng=RandomState(1))
+
+
+@_settings
+@given(sigmas, fan_ins)
+def test_folded_variance_is_sum_of_member_variances(member_sigmas, fan_in):
+    stack = CompositeNoise([GaussianReadNoise(s) for s in member_sigmas])
+    folded = stack.fold(fan_in)
+    assert folded is not None
+    assert folded.std_for(fan_in) ** 2 == pytest.approx(sum(s**2 for s in member_sigmas))
+
+
+@_settings
+@given(sigmas, fan_ins)
+def test_folded_variance_with_fan_in_relative_members(member_sigmas, fan_in):
+    """Fan-in-relative members fold at their fan-in-evaluated deviation."""
+    stack = CompositeNoise(
+        [GaussianReadNoise(s, relative_to_fan_in=(i % 2 == 1)) for i, s in enumerate(member_sigmas)]
+    )
+    folded = stack.fold(fan_in)
+    assert folded is not None
+    expected = sum(member.std_for(fan_in) ** 2 for member in stack.models)
+    assert folded.std_for(fan_in) ** 2 == pytest.approx(expected)
+    # The fold matches the stack's own quadrature accounting exactly.
+    assert folded.sigma == pytest.approx(stack.std_for(fan_in))
+
+
+@_settings
+@given(sigmas)
+def test_all_gaussian_stack_is_additive_gaussian_and_folds_on_engine(member_sigmas):
+    stack = CompositeNoise([GaussianReadNoise(s) for s in member_sigmas] + [NoNoise()])
+    assert stack.is_additive_gaussian
+    crossbar = _crossbar(stack)
+    assert VectorizedEngine._can_fold(crossbar, add_noise=True)
+
+
+@_settings
+@given(
+    sigmas,
+    st.sampled_from(["stuck", "variation"]),
+    st.integers(min_value=0, max_value=6),
+)
+def test_non_gaussian_member_refuses_to_fold(member_sigmas, kind, position):
+    outlier = StuckAtFaultNoise(0.1) if kind == "stuck" else DeviceVariationNoise(0.2)
+    models = [GaussianReadNoise(s) for s in member_sigmas]
+    models.insert(min(position, len(models)), outlier)
+    stack = CompositeNoise(models)
+
+    assert not stack.is_additive_gaussian
+    assert stack.fold(16) is None
+    # The engine must fall back to the batched per-tile path.
+    crossbar = _crossbar(stack)
+    assert not VectorizedEngine._can_fold(crossbar, add_noise=True)
+
+
+def test_folded_statistics_match_member_by_member_application():
+    """Applying the stack literally and drawing the folded model once give
+    the same distribution (a fixed-seed spot check, not a hypothesis run)."""
+    stack = CompositeNoise([GaussianReadNoise(1.5), GaussianReadNoise(2.0), NoNoise()])
+    folded = stack.fold(1)
+    zeros = np.zeros(200_000)
+    literal = stack.apply(zeros, RandomState(3))
+    one_draw = folded.apply(zeros, RandomState(4))
+    assert np.std(literal) == pytest.approx(np.std(one_draw), rel=0.02)
+    assert np.std(literal) == pytest.approx(np.sqrt(1.5**2 + 2.0**2), rel=0.02)
