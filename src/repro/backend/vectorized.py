@@ -138,8 +138,12 @@ class VectorizedEngine(SimulationEngine):
         scales_arr = np.asarray(scales, dtype=np.float64)
         num_options = scales_arr.size
         eps = rng.normal(0.0, 1.0, size=(num_options,) + tuple(shape))
-        scaled = eps * scales_arr.reshape((num_options,) + (1,) * len(shape))
-        mixed = alphas.reshape(1, num_options).matmul(Tensor(scaled.reshape(num_options, -1)))
+        # Fold the per-candidate scale into the mixture weight (k scalars)
+        # instead of scaling the whole (k, N) standard-normal stack: the
+        # mixture sum_k alpha_k (scale_k eps_k) associates identically as
+        # sum_k (alpha_k scale_k) eps_k, saving one full-size elementwise pass.
+        weighted = alphas * Tensor(scales_arr)
+        mixed = weighted.reshape(1, num_options).matmul(Tensor(eps.reshape(num_options, -1)))
         return mixed.reshape(*shape)
 
     def gbo_mixture_read(

@@ -76,36 +76,20 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
-def _im2col_indices(
-    shape: Tuple[int, int, int, int], kernel: int, stride: int, padding: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Index arrays mapping an NCHW image to its column representation."""
-    _, channels, height, width = shape
-    out_h = conv_output_size(height, kernel, stride, padding)
-    out_w = conv_output_size(width, kernel, stride, padding)
-
-    i0 = np.repeat(np.arange(kernel), kernel)
-    i0 = np.tile(i0, channels)
-    i1 = stride * np.repeat(np.arange(out_h), out_w)
-    j0 = np.tile(np.arange(kernel), kernel * channels)
-    j1 = stride * np.tile(np.arange(out_w), out_h)
-    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
-    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
-    k = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
-    return k, i, j
-
-
 def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
     """Rearrange image patches into columns (pure numpy, no gradient).
 
-    Returns an array of shape ``(C*K*K, N*out_h*out_w)``.
+    Returns an array of shape ``(C*K*K, N*out_h*out_w)`` whose row index is
+    ``c*K*K + ki*K + kj`` and whose column index is ``(oh*out_w + ow)*N + n``
+    — strided sliding windows instead of a fancy-index gather, which is
+    substantially faster on conv-sized workloads.
     """
     if padding > 0:
         x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    k, i, j = _im2col_indices(x.shape, kernel, stride, 0)
-    cols = x[:, k, i, j]
     channels = x.shape[1]
-    return cols.transpose(1, 2, 0).reshape(kernel * kernel * channels, -1)
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (N, C, out_h, out_w, K, K)
+    return windows.transpose(1, 4, 5, 2, 3, 0).reshape(kernel * kernel * channels, -1)
 
 
 def col2im(
@@ -115,16 +99,33 @@ def col2im(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Inverse of :func:`im2col`, scatter-adding columns back to an image."""
+    """Inverse of :func:`im2col`, scatter-adding columns back to an image.
+
+    Accumulates one slice-add per kernel offset (``K*K`` vectorised adds)
+    rather than a single ``np.add.at`` scatter: within one ``(ki, kj)``
+    offset every target index is unique, so plain ``+=`` is exact, and the
+    offsets are summed sequentially.  The accumulator lives in ``(C, H, W, N)``
+    layout so each offset's add is a contiguous block copy of the matching
+    ``cols`` slice (batch is the fastest-varying column axis); one transpose
+    back to NCHW at the end costs a single image-sized copy.  Orders of
+    magnitude faster than the per-index ufunc scatter for stride-1
+    convolutions.
+    """
     batch, channels, height, width = shape
     padded_h, padded_w = height + 2 * padding, width + 2 * padding
-    padded = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
-    k, i, j = _im2col_indices((batch, channels, padded_h, padded_w), kernel, stride, 0)
-    cols_reshaped = cols.reshape(channels * kernel * kernel, -1, batch).transpose(2, 0, 1)
-    np.add.at(padded, (slice(None), k, i, j), cols_reshaped)
-    if padding == 0:
-        return padded
-    return padded[:, :, padding:-padding, padding:-padding]
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    padded = np.zeros((channels, padded_h, padded_w, batch), dtype=cols.dtype)
+    blocks = cols.reshape(channels, kernel, kernel, out_h, out_w, batch)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            padded[
+                :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride, :
+            ] += blocks[:, ki, kj]
+    image = padded.transpose(3, 0, 1, 2)
+    if padding > 0:
+        image = image[:, :, padding:-padding, padding:-padding]
+    return np.ascontiguousarray(image)
 
 
 def im2col_tensor(x: Tensor, kernel: int, stride: int, padding: int) -> Tensor:

@@ -218,7 +218,14 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            # Adopt the incoming array without copying. This means .grad may
+            # alias an upstream gradient or even another tensor's .grad (an
+            # add passes the identical array to both parents), so .grad must
+            # be treated as read-only everywhere: accumulate by rebinding
+            # (`self.grad = self.grad + grad`, as below), never by in-place
+            # ops like `grad *= scale` or `grad.fill(0)` — those would
+            # silently corrupt a sibling's gradient.
+            self.grad = np.asarray(grad, dtype=np.float64)
         else:
             self.grad = self.grad + grad
 
