@@ -1,0 +1,18 @@
+"""Wire the benchmark-gate checker into the slow-marker benchmark run.
+
+Validates the committed ``benchmarks/results/BENCH_*.json`` artifacts: every
+recorded speedup must clear its recorded gate (engine >= 10x, GBO >= 5x,
+runner >= 2x) and no required artifact may be missing.  Because this file is
+collected before the benchmarks that *rewrite* those artifacts, it guards
+the committed numbers; the rewriting benchmarks assert their own fresh
+numbers in the same run.
+"""
+
+from benchmarks.check_bench_gates import check_gates
+
+
+def test_committed_bench_artifacts_clear_their_gates(capsys):
+    lines, failures = check_gates()
+    with capsys.disabled():
+        print("\n" + "\n".join(lines))
+    assert not failures, "benchmark gate failures:\n" + "\n".join(failures)

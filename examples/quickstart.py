@@ -1,86 +1,68 @@
-"""Quickstart: the full GBO workflow on a small crossbar-mapped MLP.
+"""Quickstart: the paper's pipeline end to end, on the smoke profile.
 
-Walks through the paper's pipeline end to end in under a minute on a laptop:
+Walks the reproduction the same way the benchmark harness does — through
+the experiment registry and the scenario runner — but at the ``smoke``
+scale (a tiny crossbar MLP on 8x8 synthetic images), so the whole thing
+finishes in well under a minute on a laptop:
 
-1. build a synthetic CIFAR-like dataset (offline substitute for CIFAR-10);
-2. pre-train a binary-weight network with 9-level activations;
-3. measure how analog crossbar read noise degrades accuracy (8-pulse baseline);
-4. recover part of the loss with uniform PLA (more pulses per layer);
-5. run GBO to learn a heterogeneous per-layer pulse schedule;
-6. compare everything in one table.
+1. pre-train the binary-weight network (cached under ``.repro_cache/``);
+2. reproduce Fig. 1(b): why thermometer coding beats bit slicing;
+3. reproduce Table I: the 8-pulse baseline, uniform PLA schedules and two
+   GBO runs that learn a heterogeneous per-layer pulse schedule.
 
-Run with:  python examples/quickstart.py
+Every step iterates the registry (`EXPERIMENTS` / `run_experiment`), so
+this example always runs exactly the scenarios the benchmarks run, just
+smaller.  Each (method, noise level) cell is one independent scenario: add
+``--workers 2`` to shard them across processes, or re-run the script to see
+the result store make it instant.
+
+Run with:  python examples/quickstart.py [--workers N]
 """
 
-from repro.core import GBOConfig, GBOTrainer, PulseScalingSpace, PulseSchedule
-from repro.data import DataLoader, SyntheticImageConfig, make_synthetic_cifar
-from repro.models import CrossbarMLP
-from repro.tensor.random import RandomState
-from repro.training import PretrainConfig, evaluate_accuracy, noisy_accuracy, pretrain_model
+import argparse
+
+from repro.experiments import EXPERIMENTS, get_profile, get_pretrained_bundle, run_experiment
+from repro.experiments.registry import format_result
+from repro.experiments.runner.store import default_store
 from repro.utils.seed import seed_everything
 
 
 def main() -> None:
-    seed_everything(0)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", "-w", type=int, default=0)
+    args = parser.parse_args()
 
-    # ------------------------------------------------------------------ data
-    config = SyntheticImageConfig(image_size=8, noise_level=0.08)
-    train_set, test_set = make_synthetic_cifar(num_train=512, num_test=256, config=config, seed=1)
-    train_loader = DataLoader(train_set, batch_size=32, shuffle=True, rng=RandomState(2))
-    test_loader = DataLoader(test_set, batch_size=64)
-
-    # ----------------------------------------------------------------- model
-    model = CrossbarMLP(
-        in_features=3 * 8 * 8,
-        hidden_sizes=(64, 64, 64),
-        num_classes=10,
-        rng=RandomState(3),
-    )
-    print(f"model: {model}")
-    print(f"encoded (crossbar-mapped) layers: {model.encoded_layer_names()}")
+    profile = get_profile("smoke")
+    seed_everything(profile.seed)
+    store = default_store()
 
     # ------------------------------------------------------------- pre-train
-    print("\npre-training the binary-weight network (clean, no crossbar noise)...")
-    pretrain_model(model, train_loader, config=PretrainConfig(epochs=10, learning_rate=1e-2))
-    clean_accuracy = evaluate_accuracy(model, test_loader)
-    print(f"clean accuracy: {clean_accuracy:.2f}%")
+    print("pre-training the binary-weight network (clean, no crossbar noise)...")
+    bundle = get_pretrained_bundle(profile)
+    print(f"model: {bundle.model}")
+    print(f"encoded (crossbar-mapped) layers: {bundle.model.encoded_layer_names()}")
+    print(f"clean accuracy: {bundle.clean_accuracy:.2f}%\n")
 
-    # ----------------------------------------------------- noisy crossbar eval
-    sigma = 6.0
-    layers = model.num_encoded_layers()
-    rows = []
-
-    baseline = noisy_accuracy(
-        model, test_loader, sigma=sigma, schedule=PulseSchedule.uniform(layers, 8), num_repeats=3
-    )
-    rows.append(("Baseline (8 pulses)", [8] * layers, baseline))
-
-    for pulses in (12, 16):
-        accuracy = noisy_accuracy(
-            model, test_loader, sigma=sigma,
-            schedule=PulseSchedule.uniform(layers, pulses), num_repeats=3,
+    # ------------------------------------------- registry-driven experiments
+    for identifier in ("fig1b", "table1"):
+        spec = EXPERIMENTS[identifier]
+        result, outcome = run_experiment(
+            identifier,
+            profile=profile,
+            bundle=bundle if spec.needs_bundle else None,
+            workers=args.workers,
+            store=store,
         )
-        rows.append((f"PLA{pulses} (uniform)", [pulses] * layers, accuracy))
+        print("=" * 72)
+        print(f"{spec.paper_reference} — {spec.description}")
+        print(f"[{outcome.executed} scenario(s) run, {outcome.cached} from cache, "
+              f"{outcome.workers or 1} worker(s)]")
+        print("=" * 72)
+        print(format_result(spec, result))
+        print()
 
-    # -------------------------------------------------------------------- GBO
-    print("\nrunning GBO (weights frozen, per-layer encoding logits trained)...")
-    model.set_noise(sigma)
-    trainer = GBOTrainer(
-        model,
-        GBOConfig(space=PulseScalingSpace(), gamma=1e-3, learning_rate=5e-2, epochs=4),
-    )
-    gbo_result = trainer.train(train_loader)
-    gbo_accuracy = noisy_accuracy(
-        model, test_loader, sigma=sigma, schedule=gbo_result.schedule, num_repeats=3
-    )
-    rows.append(("GBO (learned)", gbo_result.schedule.as_list(), gbo_accuracy))
-
-    # ----------------------------------------------------------------- report
-    print(f"\nresults at crossbar noise sigma = {sigma} (clean accuracy {clean_accuracy:.2f}%):")
-    print(f"{'method':<22} {'avg pulses':>11} {'accuracy %':>11}  per-layer pulses")
-    for method, schedule, accuracy in rows:
-        average = sum(schedule) / len(schedule)
-        print(f"{method:<22} {average:>11.2f} {accuracy:>11.2f}  {schedule}")
+    print("next: python examples/vgg9_paper_workflow.py  (the full VGG9 suite)")
+    print("      python -m repro.experiments run all --workers 4  (CLI, resumable)")
 
 
 if __name__ == "__main__":

@@ -1,64 +1,62 @@
 """The paper's full VGG9 workflow, driven through the experiment registry.
 
-Reproduces Fig. 1(b), Fig. 2, Table I and Table II on the ``fast`` profile
-(reduced-width VGG9 on the synthetic CIFAR-like task).  Pre-training is
-cached under ``.repro_cache/`` so repeated runs are fast; the first run
-pre-trains the network (a couple of minutes on a laptop CPU) and the full
-table sweep takes several more minutes.
+Reproduces every registered experiment — Fig. 1(b), Fig. 2, Table I,
+Table II and the three ablations — on the ``fast`` profile (reduced-width
+VGG9 on the synthetic CIFAR-like task) by iterating the registry index and
+executing each experiment's scenario grid on the scenario runner.  Nothing
+here names an individual driver, so the example can never drift from the
+experiment index.
 
-Run with:  python examples/vgg9_paper_workflow.py [profile]
+Pre-training is cached under ``.repro_cache/`` and every completed scenario
+lands in the content-addressed result store, so an interrupted run resumes
+where it stopped and a repeated run is instant.  Pass ``--workers N`` to
+shard independent scenarios across N processes (bit-identical results).
+
+Run with:  python examples/vgg9_paper_workflow.py [profile] [--workers N]
            (profile defaults to "fast"; "smoke" finishes in seconds)
 """
 
-import sys
+import argparse
 
-from repro.experiments import (
-    get_profile,
-    get_pretrained_bundle,
-    run_fig1b,
-    run_fig2,
-    run_table1,
-    run_table2,
-)
+from repro.experiments import EXPERIMENTS, get_profile, get_pretrained_bundle, run_experiment
+from repro.experiments.registry import format_result
+from repro.experiments.runner.store import default_store
 from repro.utils.seed import seed_everything
 
 
 def main() -> None:
-    profile_name = sys.argv[1] if len(sys.argv) > 1 else "fast"
-    profile = get_profile(profile_name)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("profile", nargs="?", default="fast")
+    parser.add_argument("--workers", "-w", type=int, default=0)
+    args = parser.parse_args()
+
+    profile = get_profile(args.profile)
     seed_everything(profile.seed)
+    store = default_store()
 
     print(f"profile: {profile.name} (model={profile.model}, "
           f"width x{profile.width_multiplier}, image {profile.image_size}x{profile.image_size})")
-    print(f"noise sweep: ours sigma={list(profile.sigmas)}  ~  paper sigma={list(profile.paper_sigmas)}\n")
+    print(f"noise sweep: ours sigma={list(profile.sigmas)}  ~  paper sigma={list(profile.paper_sigmas)}")
+    print(f"result store: {store.root}\n")
 
-    # ---------------------------------------------------------------- Fig 1b
-    print("=" * 72)
-    print("Fig. 1(b) — encoding noise variance vs bit width")
-    print("=" * 72)
-    print(run_fig1b().format_table())
-
-    # ------------------------------------------------------- shared pretrain
+    # Shared pre-trained model (cached on disk; scenario workers reload it).
     bundle = get_pretrained_bundle(profile)
-    print(f"\nclean accuracy: {bundle.clean_accuracy:.2f}% (paper: 90.80% on CIFAR-10)\n")
+    print(f"clean accuracy: {bundle.clean_accuracy:.2f}% (paper: 90.80% on CIFAR-10)\n")
 
-    # ----------------------------------------------------------------- Fig 2
-    print("=" * 72)
-    print("Fig. 2 — layer-wise noise sensitivity")
-    print("=" * 72)
-    print(run_fig2(bundle=bundle).format_table())
-
-    # --------------------------------------------------------------- Table I
-    print("\n" + "=" * 72)
-    print("Table I — Baseline / PLA-n / GBO")
-    print("=" * 72)
-    print(run_table1(bundle=bundle).format_table())
-
-    # -------------------------------------------------------------- Table II
-    print("\n" + "=" * 72)
-    print("Table II — synergy with NIA")
-    print("=" * 72)
-    print(run_table2(bundle=bundle).format_table())
+    for identifier, spec in EXPERIMENTS.items():
+        result, outcome = run_experiment(
+            identifier,
+            profile=profile,
+            bundle=bundle if spec.needs_bundle else None,
+            workers=args.workers,
+            store=store,
+        )
+        print("=" * 72)
+        print(f"{spec.paper_reference} — {spec.description}")
+        print(f"[{outcome.executed} scenario(s) run, {outcome.cached} from cache]")
+        print("=" * 72)
+        print(format_result(spec, result))
+        print()
 
 
 if __name__ == "__main__":

@@ -69,6 +69,7 @@ def monte_carlo_noise_variance(
     out_features: int = 16,
     num_trials: int = 200,
     rng: Optional[RandomState] = None,
+    engine=None,
 ) -> float:
     """Empirically estimate the accumulated output-noise variance of an encoder.
 
@@ -88,8 +89,8 @@ def monte_carlo_noise_variance(
     for _ in range(num_trials):
         level_indices = rng.randint(0, levels, size=in_features)
         values = 2.0 * level_indices / (levels - 1) - 1.0
-        ideal = pulsed_mvm(noisy_bar, values, encoder, add_noise=False)
-        noisy = pulsed_mvm(noisy_bar, values, encoder, add_noise=True)
+        ideal = pulsed_mvm(noisy_bar, values, encoder, add_noise=False, engine=engine)
+        noisy = pulsed_mvm(noisy_bar, values, encoder, add_noise=True, engine=engine)
         deviations.append(noisy - ideal)
     stacked = np.concatenate([d.reshape(-1) for d in deviations])
     return float(np.var(stacked))

@@ -1,0 +1,192 @@
+"""Command-line interface to the experiment registry and scenario runner.
+
+Usage (module form, with ``src`` on ``PYTHONPATH``)::
+
+    python -m repro.experiments list
+    python -m repro.experiments run all --profile fast --workers 4
+    python -m repro.experiments run table1 table2 --engine vectorized
+    python -m repro.experiments run fig2 --no-resume
+    python -m repro.experiments report --out report.md
+
+``run`` executes each experiment's scenario grid through the runner:
+completed scenarios resume from the content-addressed result store under
+``<cache-dir>/runner`` (so an interrupted suite continues where it stopped)
+and ``--workers N`` shards the remaining scenarios across N worker
+processes, bit-identically to the serial run.  ``report`` renders a
+markdown report purely from the store, recomputing nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiments through the scenario runner.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="override the cache directory (default: $REPRO_CACHE_DIR or ./.repro_cache)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments via the scenario runner")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="ID",
+        help="registry identifiers (see `list`), or `all`",
+    )
+    run_parser.add_argument("--profile", "-p", default=None, help="experiment profile (default: fast)")
+    run_parser.add_argument(
+        "--workers",
+        "-w",
+        type=int,
+        default=0,
+        help="worker processes for independent scenarios (<=1: serial oracle)",
+    )
+    run_parser.add_argument(
+        "--engine",
+        "-e",
+        default=None,
+        help="simulation engine pin for every scenario (reference | vectorized)",
+    )
+    run_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompute scenarios even when the result store already has them",
+    )
+    run_parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not read or write the persistent result store",
+    )
+    run_parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write a markdown report of the run's results to PATH",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="build a markdown report from the result store (no recompute)"
+    )
+    report_parser.add_argument("--profile", "-p", default=None, help="experiment profile (default: fast)")
+    report_parser.add_argument(
+        "--engine",
+        "-e",
+        default=None,
+        help="render results of a suite that ran under this engine pin",
+    )
+    report_parser.add_argument("--out", "-o", default=None, metavar="PATH", help="write to PATH instead of stdout")
+    return parser
+
+
+def _resolve_experiments(requested: List[str]) -> List[str]:
+    from repro.experiments.registry import EXPERIMENTS
+
+    if any(identifier == "all" for identifier in requested):
+        return list(EXPERIMENTS)
+    unknown = [identifier for identifier in requested if identifier not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s): {', '.join(unknown)}; available: {', '.join(EXPERIMENTS)}"
+        )
+    return requested
+
+
+def _command_list() -> int:
+    from repro.experiments.registry import describe_experiments
+
+    print(describe_experiments())
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    from repro.experiments.profiles import get_profile
+    from repro.experiments.registry import EXPERIMENTS, format_result, run_experiment
+    from repro.experiments.runner.store import default_store
+
+    identifiers = _resolve_experiments(args.experiments)
+    profile = get_profile(args.profile)
+    store = None if args.no_store else default_store()
+    results = {}
+    for identifier in identifiers:
+        spec = EXPERIMENTS[identifier]
+        start = time.perf_counter()
+        assembled, outcome = run_experiment(
+            identifier,
+            profile=profile,
+            workers=args.workers,
+            store=store,
+            engine=args.engine,
+            resume=not args.no_resume,
+        )
+        elapsed = time.perf_counter() - start
+        results[identifier] = assembled
+        print("=" * 72)
+        print(
+            f"{identifier} — {spec.paper_reference}  "
+            f"[{outcome.executed} run, {outcome.cached} cached, "
+            f"{outcome.workers or 1} worker(s), {elapsed:.1f}s]"
+        )
+        print("=" * 72)
+        print(format_result(spec, assembled))
+        print()
+    if args.report:
+        from repro.experiments.report import full_report
+
+        text = full_report(title=f"Reproduction report — profile {profile.name}", **results)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.report}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments.profiles import get_profile
+    from repro.experiments.report import build_report_from_store
+    from repro.experiments.runner.store import default_store
+
+    profile = get_profile(args.profile)
+    text = build_report_from_store(
+        default_store(),
+        profile=profile,
+        title=f"Reproduction report — profile {profile.name}",
+        engine=args.engine,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.cache_dir:
+        # get_cache_dir() resolves lazily, so setting the env here is enough
+        # for the whole process tree (worker processes inherit it).
+        os.environ["REPRO_CACHE_DIR"] = os.path.abspath(args.cache_dir)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "report":
+        return _command_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

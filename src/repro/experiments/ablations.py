@@ -11,23 +11,26 @@ re-encoding as a function of the pulse count and of the rounding mode
 ``A3`` — gamma trade-off: GBO's selected average pulse count and resulting
 accuracy as the latency weight gamma of Eq. 6 is swept, exposing the
 accuracy/latency Pareto front the paper's two GBO rows sample.
+
+All three are grids on the scenario runner: one scenario per (encoding,
+sigma) cell for A1, per pulse count for A2 and per gamma for A3.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.gbo import GBOConfig, GBOTrainer
 from repro.core.pla import pla_approximation_error
 from repro.core.schedule import PulseSchedule
-from repro.core.search_space import PulseScalingSpace
 from repro.crossbar.analysis import bit_slicing_noise_variance, thermometer_noise_variance
 from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
 from repro.experiments.profiles import ExperimentProfile
+from repro.experiments.runner.spec import stable_seed
+from repro.experiments.table1 import run_gbo_stage
 from repro.tensor.random import RandomState
 from repro.training.evaluate import noisy_accuracy
 from repro.utils.logging import get_logger
@@ -63,12 +66,31 @@ class EncodingAblationResult:
         raise KeyError(f"no row for encoding={encoding!r} sigma={sigma}")
 
 
-def run_encoding_ablation(
-    profile: Optional[ExperimentProfile] = None,
-    bundle: Optional[ExperimentBundle] = None,
+def encoding_ablation_grid(
+    profile: ExperimentProfile,
     sigmas: Optional[Sequence[float]] = None,
-) -> EncodingAblationResult:
-    """A1: compare thermometer coding and bit slicing end to end.
+    engine=None,
+):
+    """One scenario per (encoding scheme, noise level) cell."""
+    from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec, profile_axes
+
+    axes = profile_axes(profile, engine)
+    sigmas = list(sigmas if sigmas is not None else profile.sigmas)
+    specs = tuple(
+        ScenarioSpec.create(
+            experiment="ablation_encoding",
+            method=encoding,
+            sigma=sigma,
+            **axes,
+        )
+        for sigma in sigmas
+        for encoding in ("thermometer", "bit_slicing")
+    )
+    return ScenarioGrid(name="ablation_encoding", specs=specs)
+
+
+def execute_encoding_scenario(ctx) -> Dict[str, Any]:
+    """A1 cell: end-to-end accuracy with one encoding's folded noise model.
 
     Both encodings carry the same information (the layer's 9 activation
     levels need ``ceil(log2(9)) = 4`` bit-slicing pulses or 8 thermometer
@@ -77,51 +99,81 @@ def run_encoding_ablation(
     variance, so the comparison isolates the encoding effect the paper's
     Section II-B analyses.
     """
-    bundle = bundle or get_pretrained_bundle(profile)
-    profile = bundle.profile
-    model = bundle.model
-    sigmas = list(sigmas if sigmas is not None else profile.sigmas)
+    spec = ctx.spec
+    profile = ctx.profile
     levels = profile.activation_levels
     base_pulses = profile.base_pulses
-    slicing_bits = max(1, math.ceil(math.log2(levels)))
-    num_layers = model.num_encoded_layers()
-    baseline_schedule = PulseSchedule.uniform(num_layers, base_pulses)
+    sigma = spec.sigma
+    if spec.method == "thermometer":
+        accumulated_std = math.sqrt(thermometer_noise_variance(base_pulses, sigma=sigma))
+    else:
+        slicing_bits = max(1, math.ceil(math.log2(levels)))
+        accumulated_std = math.sqrt(bit_slicing_noise_variance(slicing_bits, sigma=sigma))
 
-    result = EncodingAblationResult(levels=levels)
-    for sigma in sigmas:
-        thermo_std = math.sqrt(thermometer_noise_variance(base_pulses, sigma=sigma))
-        slicing_std = math.sqrt(bit_slicing_noise_variance(slicing_bits, sigma=sigma))
-        for encoding, accumulated_std in (
-            ("thermometer", thermo_std),
-            ("bit_slicing", slicing_std),
-        ):
-            # The encoded layers divide sigma by sqrt(num_pulses); choose the
-            # per-pulse sigma that lands exactly on the target accumulated std.
-            per_pulse_sigma = accumulated_std * math.sqrt(base_pulses)
-            accuracy = noisy_accuracy(
-                model,
-                bundle.test_loader,
-                sigma=per_pulse_sigma,
-                schedule=baseline_schedule,
-                sigma_relative_to_fan_in=False,
-                num_repeats=profile.eval_repeats,
+    model = ctx.model()
+    num_layers = model.num_encoded_layers()
+    # The encoded layers divide sigma by sqrt(num_pulses); choose the
+    # per-pulse sigma that lands exactly on the target accumulated std.
+    per_pulse_sigma = accumulated_std * math.sqrt(base_pulses)
+    accuracy = noisy_accuracy(
+        model,
+        ctx.test_loader,
+        sigma=per_pulse_sigma,
+        schedule=PulseSchedule.uniform(num_layers, base_pulses),
+        sigma_relative_to_fan_in=False,
+        num_repeats=profile.eval_repeats,
+    )
+    LOGGER.info(
+        "ablation A1 sigma=%.2f %s: accumulated_std=%.3f acc=%.2f%%",
+        sigma,
+        spec.method,
+        accumulated_std,
+        accuracy,
+    )
+    return {
+        "levels": levels,
+        "effective_noise_std": accumulated_std,
+        "accuracy": accuracy,
+    }
+
+
+def assemble_encoding_ablation(
+    grid, results: Mapping[str, Mapping[str, Any]], bundle: ExperimentBundle
+) -> EncodingAblationResult:
+    from repro.experiments.runner.spec import grid_profile
+
+    result = EncodingAblationResult(
+        levels=grid_profile(grid, fallback=bundle).activation_levels
+    )
+    for spec in grid:
+        row = results[spec.hash]
+        result.rows.append(
+            EncodingAblationRow(
+                encoding=spec.method,
+                sigma=spec.sigma,
+                effective_noise_std=row["effective_noise_std"],
+                accuracy=row["accuracy"],
             )
-            result.rows.append(
-                EncodingAblationRow(
-                    encoding=encoding,
-                    sigma=sigma,
-                    effective_noise_std=accumulated_std,
-                    accuracy=accuracy,
-                )
-            )
-            LOGGER.info(
-                "ablation A1 sigma=%.2f %s: accumulated_std=%.3f acc=%.2f%%",
-                sigma,
-                encoding,
-                accumulated_std,
-                accuracy,
-            )
+        )
     return result
+
+
+def run_encoding_ablation(
+    profile: Optional[ExperimentProfile] = None,
+    bundle: Optional[ExperimentBundle] = None,
+    sigmas: Optional[Sequence[float]] = None,
+    engine=None,
+    workers: int = 0,
+    store=None,
+) -> EncodingAblationResult:
+    """A1: compare thermometer coding and bit slicing end to end."""
+    from repro.experiments.runner.executor import run_grid
+
+    bundle = bundle or get_pretrained_bundle(profile)
+    profile = profile or bundle.profile
+    grid = encoding_ablation_grid(profile, sigmas=sigmas, engine=engine)
+    outcome = run_grid(grid, workers=workers, store=store, bundle=bundle)
+    return assemble_encoding_ablation(grid, outcome.results, bundle)
 
 
 # ---------------------------------------------------------------------------
@@ -136,12 +188,100 @@ class PLAErrorRow:
     mean_abs_error: float
 
 
+def pla_error_grid(
+    pulse_counts: Sequence[int] = (4, 6, 8, 10, 12, 14, 16),
+    levels: int = 9,
+    num_samples: int = 4096,
+    saturation: float = 0.6,
+    seed: int = 0,
+):
+    """One scenario per pulse count (both rounding modes per scenario)."""
+    from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec
+
+    specs = tuple(
+        ScenarioSpec.create(
+            experiment="ablation_pla_error",
+            method=f"pulses{int(pulses)}",
+            seed=seed,
+            pulses=int(pulses),
+            levels=int(levels),
+            num_samples=int(num_samples),
+            saturation=float(saturation),
+        )
+        for pulses in pulse_counts
+    )
+    return ScenarioGrid(name="ablation_pla_error", specs=specs)
+
+
+def _pla_sample_values(
+    levels: int, num_samples: int, saturation: float, seed: int
+) -> np.ndarray:
+    """The synthetic saturating activation distribution of A2.
+
+    Seeded independently of the pulse count so every scenario of the sweep
+    re-encodes the *same* values — the error comparison across pulse counts
+    stays apples-to-apples even though each scenario runs in isolation.
+    """
+    value_seed = stable_seed(
+        {
+            "kind": "pla_values",
+            "levels": levels,
+            "num_samples": num_samples,
+            "saturation": saturation,
+            "base": seed,
+        }
+    )
+    rng = RandomState(value_seed)
+    grid_values = np.linspace(-1.0, 1.0, levels)
+    uniform_part = rng.choice(grid_values, size=num_samples)
+    saturated_part = rng.choice(np.array([-1.0, 1.0]), size=num_samples)
+    mask = rng.uniform(size=num_samples) < saturation
+    return np.where(mask, saturated_part, uniform_part)
+
+
+def execute_pla_error_scenario(ctx) -> Dict[str, Any]:
+    """A2 cell: PLA re-encoding error at one pulse count, both modes."""
+    spec = ctx.spec
+    values = _pla_sample_values(
+        levels=int(spec.param("levels", 9)),
+        num_samples=int(spec.param("num_samples", 4096)),
+        saturation=float(spec.param("saturation", 0.6)),
+        seed=ctx.base_seed(),
+    )
+    pulses = int(spec.param("pulses"))
+    return {
+        "num_pulses": pulses,
+        "errors": {
+            mode: pla_approximation_error(values, pulses, mode=mode)
+            for mode in ("toward_extremes", "nearest")
+        },
+    }
+
+
+def assemble_pla_error(grid, results: Mapping[str, Mapping[str, Any]]) -> List[PLAErrorRow]:
+    rows: List[PLAErrorRow] = []
+    for spec in grid:
+        row = results[spec.hash]
+        for mode in ("toward_extremes", "nearest"):
+            rows.append(
+                PLAErrorRow(
+                    num_pulses=int(row["num_pulses"]),
+                    mode=mode,
+                    mean_abs_error=row["errors"][mode],
+                )
+            )
+    return rows
+
+
 def run_pla_error_ablation(
     pulse_counts: Sequence[int] = (4, 6, 8, 10, 12, 14, 16),
     levels: int = 9,
     num_samples: int = 4096,
     saturation: float = 0.6,
     seed: int = 0,
+    engine=None,
+    workers: int = 0,
+    store=None,
 ) -> List[PLAErrorRow]:
     """A2: representation error of PLA re-encoding.
 
@@ -149,21 +289,20 @@ def run_pla_error_ablation(
     fraction ``saturation`` of the mass at exactly +-1, the rest uniform over
     the quantisation grid), mimicking the BN + Tanh statistics the paper's
     PLA relies on, and the mean absolute re-encoding error is reported for
-    both rounding modes.
+    both rounding modes.  ``engine`` is accepted for driver-interface
+    uniformity (PLA re-encoding involves no crossbar reads).
     """
-    rng = RandomState(seed)
-    grid = np.linspace(-1.0, 1.0, levels)
-    uniform_part = rng.choice(grid, size=num_samples)
-    saturated_part = rng.choice(np.array([-1.0, 1.0]), size=num_samples)
-    mask = rng.uniform(size=num_samples) < saturation
-    values = np.where(mask, saturated_part, uniform_part)
+    from repro.experiments.runner.executor import run_grid
 
-    rows: List[PLAErrorRow] = []
-    for pulses in pulse_counts:
-        for mode in ("toward_extremes", "nearest"):
-            error = pla_approximation_error(values, int(pulses), mode=mode)
-            rows.append(PLAErrorRow(num_pulses=int(pulses), mode=mode, mean_abs_error=error))
-    return rows
+    grid = pla_error_grid(
+        pulse_counts=pulse_counts,
+        levels=levels,
+        num_samples=num_samples,
+        saturation=saturation,
+        seed=seed,
+    )
+    outcome = run_grid(grid, workers=workers, store=store)
+    return assemble_pla_error(grid, outcome.results)
 
 
 # ---------------------------------------------------------------------------
@@ -179,62 +318,112 @@ class GammaTradeoffRow:
     schedule: List[int]
 
 
+def gamma_tradeoff_grid(
+    profile: ExperimentProfile,
+    gammas: Sequence[float],
+    sigma: Optional[float] = None,
+    engine=None,
+    gbo_engine=None,
+):
+    """One scenario per latency weight gamma."""
+    from repro.experiments.runner.spec import (
+        ScenarioGrid,
+        ScenarioSpec,
+        engine_token,
+        profile_axes,
+    )
+
+    gbo_engine = engine_token(gbo_engine)
+    axes = profile_axes(profile, engine)
+    if sigma is None:
+        sigma = profile.sigmas[len(profile.sigmas) // 2]
+    # Named by value, not sweep position: the same gamma must hash (and
+    # seed) identically no matter which other gammas it runs alongside.
+    # Duplicate gammas in one sweep are rejected by the grid's dedup check.
+    specs = tuple(
+        ScenarioSpec.create(
+            experiment="ablation_gamma",
+            method=f"gamma{float(gamma):g}",
+            sigma=float(sigma),
+            gamma=float(gamma),
+            gbo_engine=gbo_engine,
+            **axes,
+        )
+        for gamma in gammas
+    )
+    return ScenarioGrid(name="ablation_gamma", specs=specs)
+
+
+def execute_gamma_scenario(ctx) -> Dict[str, Any]:
+    """A3 cell: one GBO training + evaluation at one gamma."""
+    spec = ctx.spec
+    profile = ctx.profile
+    model = ctx.model()
+    schedule = run_gbo_stage(ctx, model, spec.gamma, gbo_engine=spec.param("gbo_engine"))
+    accuracy = noisy_accuracy(
+        model,
+        ctx.test_loader,
+        sigma=spec.sigma,
+        schedule=schedule,
+        sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+        num_repeats=profile.eval_repeats,
+    )
+    LOGGER.info(
+        "ablation A3 gamma=%.4g: avg_pulses=%.2f acc=%.2f%%",
+        spec.gamma,
+        schedule.average_pulses,
+        accuracy,
+    )
+    return {
+        "gamma": spec.gamma,
+        "schedule": schedule.as_list(),
+        "average_pulses": schedule.average_pulses,
+        "accuracy": accuracy,
+    }
+
+
+def assemble_gamma_tradeoff(
+    grid, results: Mapping[str, Mapping[str, Any]]
+) -> List[GammaTradeoffRow]:
+    rows: List[GammaTradeoffRow] = []
+    for spec in grid:
+        row = results[spec.hash]
+        rows.append(
+            GammaTradeoffRow(
+                gamma=row["gamma"],
+                average_pulses=row["average_pulses"],
+                accuracy=row["accuracy"],
+                schedule=[int(p) for p in row["schedule"]],
+            )
+        )
+    return rows
+
+
 def run_gamma_tradeoff(
     gammas: Sequence[float],
     sigma: Optional[float] = None,
     profile: Optional[ExperimentProfile] = None,
     bundle: Optional[ExperimentBundle] = None,
     gbo_engine=None,
+    engine=None,
+    workers: int = 0,
+    store=None,
 ) -> List[GammaTradeoffRow]:
     """A3: sweep the latency weight gamma of the GBO objective (Eq. 6).
 
     Larger gamma should push the selected schedules towards fewer pulses
     (lower latency, more noise, lower accuracy) — the trade-off the paper's
     two GBO rows per noise level sample at two points.  ``gbo_engine``
-    optionally pins a simulation engine for the GBO trainings (``None``
-    keeps the profile's backend).
+    optionally pins a simulation engine for the GBO trainings and ``engine``
+    for everything each scenario runs (``None`` keeps the profile's
+    backend).
     """
-    bundle = bundle or get_pretrained_bundle(profile)
-    profile = bundle.profile
-    model = bundle.model
-    sigma = sigma if sigma is not None else profile.sigmas[len(profile.sigmas) // 2]
-    space = PulseScalingSpace(base_pulses=profile.base_pulses)
+    from repro.experiments.runner.executor import run_grid
 
-    rows: List[GammaTradeoffRow] = []
-    for gamma in gammas:
-        model.set_noise(sigma, relative_to_fan_in=profile.noise_relative_to_fan_in)
-        trainer = GBOTrainer(
-            model,
-            GBOConfig(
-                space=space,
-                gamma=float(gamma),
-                learning_rate=profile.gbo_lr,
-                epochs=profile.gbo_epochs,
-            ),
-            engine=gbo_engine,
-        )
-        gbo_result = trainer.train(bundle.gbo_loader)
-        accuracy = noisy_accuracy(
-            model,
-            bundle.test_loader,
-            sigma=sigma,
-            schedule=gbo_result.schedule,
-            sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
-            num_repeats=profile.eval_repeats,
-        )
-        model.requires_grad_(True)
-        rows.append(
-            GammaTradeoffRow(
-                gamma=float(gamma),
-                average_pulses=gbo_result.schedule.average_pulses,
-                accuracy=accuracy,
-                schedule=gbo_result.schedule.as_list(),
-            )
-        )
-        LOGGER.info(
-            "ablation A3 gamma=%.4g: avg_pulses=%.2f acc=%.2f%%",
-            gamma,
-            gbo_result.schedule.average_pulses,
-            accuracy,
-        )
-    return rows
+    bundle = bundle or get_pretrained_bundle(profile)
+    profile = profile or bundle.profile
+    grid = gamma_tradeoff_grid(
+        profile, gammas=gammas, sigma=sigma, engine=engine, gbo_engine=gbo_engine
+    )
+    outcome = run_grid(grid, workers=workers, store=store, bundle=bundle)
+    return assemble_gamma_tradeoff(grid, outcome.results)

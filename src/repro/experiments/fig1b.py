@@ -4,17 +4,20 @@ Reproduces the analytic curves of Fig. 1(b) (normalised noise variance of
 bit slicing vs thermometer coding as the number of information bits grows)
 and cross-checks a few points with a Monte-Carlo simulation of the actual
 crossbar + encoder stack.
+
+Expressed as a grid on the scenario runner: one scenario per bit width
+(each computes both analytic values, plus the Monte-Carlo validation when
+requested for that width), assembled back into :class:`Fig1bResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 from repro.crossbar.analysis import (
     bit_slicing_noise_variance,
     monte_carlo_noise_variance,
-    noise_variance_table,
     thermometer_noise_variance,
 )
 from repro.crossbar.encoding import BitSlicingEncoder, ThermometerEncoder
@@ -53,12 +56,106 @@ class Fig1bResult:
         return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# Scenario grid
+# ---------------------------------------------------------------------------
+def fig1b_grid(
+    bit_range: Sequence[int] = range(1, 9),
+    monte_carlo_bits: Sequence[int] = (2, 3),
+    sigma: float = 1.0,
+    num_trials: int = 200,
+    seed: int = 0,
+    engine=None,
+):
+    """One scenario per bit width of the Fig. 1(b) sweep.
+
+    The Monte-Carlo validation drives real noisy crossbar reads, whose RNG
+    consumption is engine-dependent, so the resolved engine is part of every
+    spec (explicit argument > ``REPRO_BACKEND`` > the library default) —
+    results simulated under one backend never answer the other's store
+    lookups.
+    """
+    import os
+
+    from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec, engine_token
+
+    engine = engine_token(engine) or os.environ.get("REPRO_BACKEND", "vectorized")
+    monte_carlo_bits = {int(b) for b in monte_carlo_bits}
+    specs = tuple(
+        ScenarioSpec.create(
+            experiment="fig1b",
+            method=f"bits{int(bits)}",
+            seed=seed,
+            engine=engine,
+            bits=int(bits),
+            sigma_pulse=float(sigma),
+            monte_carlo=int(bits) in monte_carlo_bits,
+            num_trials=int(num_trials),
+        )
+        for bits in bit_range
+    )
+    return ScenarioGrid(name="fig1b", specs=specs)
+
+
+def execute_fig1b_scenario(ctx) -> Dict[str, Any]:
+    """Analytic (and optionally Monte-Carlo) noise variance at one bit width."""
+    spec = ctx.spec
+    bits = int(spec.param("bits"))
+    sigma = float(spec.param("sigma_pulse", 1.0))
+    # Fig. 1(b) normalises to the 1-bit / single-pulse baseline.
+    norm = bit_slicing_noise_variance(1)
+    result: Dict[str, Any] = {
+        "bits": bits,
+        "bit_slicing": bit_slicing_noise_variance(bits) / norm,
+        "thermometer": thermometer_noise_variance(2**bits - 1) / norm,
+    }
+    if spec.param("monte_carlo", False):
+        num_trials = int(spec.param("num_trials", 200))
+        rng = RandomState(ctx.scenario_seed())
+        engine = ctx.engine_name()
+        baseline = bit_slicing_noise_variance(1, sigma=sigma)
+        slicing_var = monte_carlo_noise_variance(
+            BitSlicingEncoder(bits), sigma=sigma, num_trials=num_trials, rng=rng,
+            engine=engine,
+        )
+        thermo_var = monte_carlo_noise_variance(
+            ThermometerEncoder(2**bits - 1), sigma=sigma, num_trials=num_trials,
+            rng=rng, engine=engine,
+        )
+        result["monte_carlo"] = {
+            "bit_slicing": slicing_var / baseline,
+            "thermometer": thermo_var / baseline,
+        }
+    return result
+
+
+def assemble_fig1b(grid, results: Mapping[str, Mapping[str, Any]]) -> Fig1bResult:
+    """Fold per-bit scenario results back into the figure's series."""
+    ordered = sorted(
+        (results[spec.hash] for spec in grid), key=lambda row: row["bits"]
+    )
+    monte_carlo: Dict[str, Dict[int, float]] = {"bit_slicing": {}, "thermometer": {}}
+    for row in ordered:
+        if "monte_carlo" in row:
+            for scheme in ("bit_slicing", "thermometer"):
+                monte_carlo[scheme][int(row["bits"])] = row["monte_carlo"][scheme]
+    return Fig1bResult(
+        bits=[float(row["bits"]) for row in ordered],
+        bit_slicing=[row["bit_slicing"] for row in ordered],
+        thermometer=[row["thermometer"] for row in ordered],
+        monte_carlo=monte_carlo,
+    )
+
+
 def run_fig1b(
     bit_range: Sequence[int] = range(1, 9),
     monte_carlo_bits: Sequence[int] = (2, 3),
     sigma: float = 1.0,
     num_trials: int = 200,
     seed: int = 0,
+    engine=None,
+    workers: int = 0,
+    store=None,
 ) -> Fig1bResult:
     """Compute the Fig. 1(b) series and Monte-Carlo validation points.
 
@@ -74,24 +171,23 @@ def run_fig1b(
         Per-pulse noise standard deviation.
     num_trials:
         Monte-Carlo trials per validation point.
+    engine:
+        Simulation engine (registry name) for the Monte-Carlo validation's
+        crossbar reads; ``None`` resolves ``REPRO_BACKEND`` / the library
+        default.  The analytic series is engine-independent.
+    workers / store:
+        Scenario-runner execution controls (see
+        :func:`repro.experiments.runner.run_grid`).
     """
-    table = noise_variance_table(bit_range=bit_range, normalise=True)
-    result = Fig1bResult(
-        bits=table["bits"],
-        bit_slicing=table["bit_slicing"],
-        thermometer=table["thermometer"],
+    from repro.experiments.runner.executor import run_grid
+
+    grid = fig1b_grid(
+        bit_range=bit_range,
+        monte_carlo_bits=monte_carlo_bits,
+        sigma=sigma,
+        num_trials=num_trials,
+        seed=seed,
+        engine=engine,
     )
-    rng = RandomState(seed)
-    baseline = bit_slicing_noise_variance(1, sigma=sigma)
-    monte_carlo: Dict[str, Dict[int, float]] = {"bit_slicing": {}, "thermometer": {}}
-    for bits in monte_carlo_bits:
-        slicing_var = monte_carlo_noise_variance(
-            BitSlicingEncoder(bits), sigma=sigma, num_trials=num_trials, rng=rng
-        )
-        thermo_var = monte_carlo_noise_variance(
-            ThermometerEncoder(2**bits - 1), sigma=sigma, num_trials=num_trials, rng=rng
-        )
-        monte_carlo["bit_slicing"][int(bits)] = slicing_var / baseline
-        monte_carlo["thermometer"][int(bits)] = thermo_var / baseline
-    result.monte_carlo = monte_carlo
-    return result
+    outcome = run_grid(grid, workers=workers, store=store)
+    return assemble_fig1b(grid, outcome.results)

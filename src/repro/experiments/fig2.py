@@ -3,16 +3,20 @@
 Injects Gaussian crossbar noise into one encoded layer at a time of the
 pre-trained network and records the resulting accuracy, reproducing the
 heterogeneous sensitivity profile that motivates per-layer pulse lengths.
+
+Expressed as a grid on the scenario runner: one scenario per target layer,
+each evaluating the network with only that layer noisy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
-from repro.core.noise_sensitivity import LayerSensitivity, layer_noise_sensitivity
+from repro.core.noise_sensitivity import LayerSensitivity
 from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
 from repro.experiments.profiles import ExperimentProfile
+from repro.training.evaluate import evaluate_accuracy
 
 
 @dataclass
@@ -43,10 +47,116 @@ class Fig2Result:
         return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# Scenario grid
+# ---------------------------------------------------------------------------
+_LAYER_COUNT_CACHE = {}
+
+
+def encoded_layer_count(profile: ExperimentProfile) -> int:
+    """Encoded-layer count of the profile's architecture.
+
+    Derived from the model itself (the single source of truth, so grids
+    built from a profile and grids built from a live bundle can never
+    disagree) and memoised per architecture shape, because the registry and
+    the report builder construct fig2 grids without a bundle at hand.
+    """
+    key = (profile.model, profile.width_multiplier, profile.image_size,
+           profile.num_classes, profile.activation_levels)
+    if key not in _LAYER_COUNT_CACHE:
+        from repro.experiments.common import build_model
+
+        _LAYER_COUNT_CACHE[key] = build_model(profile).num_encoded_layers()
+    return _LAYER_COUNT_CACHE[key]
+
+
+def _resolve_sigma(profile: ExperimentProfile, sigma: Optional[float]) -> float:
+    """Default to the middle of the profile's sweep ("moderate noise")."""
+    if sigma is not None:
+        return float(sigma)
+    return float(profile.sigmas[len(profile.sigmas) // 2])
+
+
+def fig2_grid(
+    profile: ExperimentProfile,
+    sigma: Optional[float] = None,
+    num_layers: Optional[int] = None,
+    engine=None,
+):
+    """One scenario per encoded layer of the profile's network."""
+    from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec, profile_axes
+
+    if num_layers is None:
+        num_layers = encoded_layer_count(profile)
+    sigma = _resolve_sigma(profile, sigma)
+    axes = profile_axes(profile, engine)
+    specs = tuple(
+        ScenarioSpec.create(
+            experiment="fig2",
+            method=f"layer{index}",
+            sigma=sigma,
+            layer_index=index,
+            **axes,
+        )
+        for index in range(num_layers)
+    )
+    return ScenarioGrid(name="fig2", specs=specs)
+
+
+def execute_fig2_scenario(ctx) -> Dict[str, Any]:
+    """Accuracy of the pre-trained model with one layer made noisy."""
+    spec = ctx.spec
+    profile = ctx.profile
+    target_index = int(spec.param("layer_index"))
+    model = ctx.model()
+    layers = list(model.encoded_layers())
+    names = (
+        list(model.encoded_layer_names())
+        if hasattr(model, "encoded_layer_names")
+        else [f"layer{i}" for i in range(len(layers))]
+    )
+    target = layers[target_index]
+    target.set_mode("noisy")
+    target.set_pulses(profile.base_pulses)
+    target.set_noise(spec.sigma, relative_to_fan_in=profile.noise_relative_to_fan_in)
+    accuracy = evaluate_accuracy(model, ctx.test_loader)
+    model.set_mode("clean")
+    return {
+        "layer_index": target_index,
+        "layer_name": names[target_index],
+        "accuracy": accuracy,
+    }
+
+
+def assemble_fig2(
+    grid, results: Mapping[str, Mapping[str, Any]], bundle: ExperimentBundle
+) -> Fig2Result:
+    """Fold per-layer scenario results back into the figure."""
+    rows = sorted(
+        (results[spec.hash] for spec in grid), key=lambda row: row["layer_index"]
+    )
+    sigma = next(iter(grid)).sigma
+    return Fig2Result(
+        sigma=sigma,
+        clean_accuracy=bundle.clean_accuracy,
+        sensitivities=[
+            LayerSensitivity(
+                layer_index=int(row["layer_index"]),
+                layer_name=row["layer_name"],
+                accuracy=row["accuracy"],
+            )
+            for row in rows
+        ],
+    )
+
+
 def run_fig2(
     profile: Optional[ExperimentProfile] = None,
     bundle: Optional[ExperimentBundle] = None,
     sigma: Optional[float] = None,
+    engine=None,
+    workers: int = 0,
+    store=None,
 ) -> Fig2Result:
     """Run the layer-wise sensitivity analysis on the pre-trained model.
 
@@ -61,18 +171,22 @@ def run_fig2(
         Noise level for the injected layer; defaults to the middle entry of
         the profile's sigma sweep, matching the "moderate noise" setting of
         the paper's Fig. 2.
+    engine:
+        Simulation engine (registry name) pinned on the evaluations; ``None``
+        keeps the profile's backend.
+    workers / store:
+        Scenario-runner execution controls (see
+        :func:`repro.experiments.runner.run_grid`).
     """
+    from repro.experiments.runner.executor import run_grid
+
     bundle = bundle or get_pretrained_bundle(profile)
-    profile = bundle.profile
-    sigma = sigma if sigma is not None else profile.sigmas[len(profile.sigmas) // 2]
-    sensitivities = layer_noise_sensitivity(
-        bundle.model,
-        bundle.test_loader,
+    profile = profile or bundle.profile
+    grid = fig2_grid(
+        profile,
         sigma=sigma,
-        pulses=profile.base_pulses,
-        sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
-        include_clean=False,
+        num_layers=bundle.model.num_encoded_layers(),
+        engine=engine,
     )
-    return Fig2Result(
-        sigma=sigma, clean_accuracy=bundle.clean_accuracy, sensitivities=sensitivities
-    )
+    outcome = run_grid(grid, workers=workers, store=store, bundle=bundle)
+    return assemble_fig2(grid, outcome.results, bundle)

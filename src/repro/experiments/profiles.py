@@ -103,6 +103,28 @@ PROFILES: Dict[str, ExperimentProfile] = {
 }
 
 
+def profile_overrides(profile: ExperimentProfile) -> Dict[str, object]:
+    """Fields of ``profile`` that differ from its registered base profile.
+
+    The scenario runner stores a profile as ``name`` + overrides so a spec
+    is fully self-describing: a worker process rebuilds the exact profile
+    with ``get_profile(name).with_overrides(**overrides)``.  Raises for
+    profiles whose name is not registered (they could not be rebuilt).
+    """
+    try:
+        base = PROFILES[profile.name]
+    except KeyError as error:
+        raise KeyError(
+            f"profile {profile.name!r} is not registered; scenario specs can "
+            f"only reference profiles reconstructible by name"
+        ) from error
+    return {
+        name: getattr(profile, name)
+        for name in base.__dataclass_fields__
+        if getattr(profile, name) != getattr(base, name)
+    }
+
+
 def get_profile(name: str | None = None) -> ExperimentProfile:
     """Look up a profile by name.
 

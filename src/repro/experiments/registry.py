@@ -1,20 +1,33 @@
-"""Registry mapping experiment identifiers to their drivers.
+"""Registry mapping experiment identifiers to their grids and drivers.
 
 Provides a single place where the per-table/figure index of DESIGN.md is
-expressed in code; the benchmark harness and the examples iterate over this
-registry so nothing falls out of sync.
+expressed in code; the benchmark harness, the examples and the
+``python -m repro.experiments`` CLI iterate over this registry so nothing
+falls out of sync.
+
+Every entry exposes three faces of the same experiment:
+
+* ``runner`` — the classic driver (``run_table1`` etc.), which itself builds
+  a grid and executes it on the scenario runner;
+* ``grid`` — the grid factory, for callers that drive the runner directly
+  (the CLI, the runner benchmark, the resume/parallel tests);
+* ``assemble`` — folds a grid's raw scenario results back into the driver's
+  result dataclass, so a report can be rebuilt from the result store alone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.experiments import ablations
-from repro.experiments.fig1b import run_fig1b
-from repro.experiments.fig2 import run_fig2
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
+from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
+from repro.experiments.runner.scenarios import needs_bundle as _runner_needs_bundle
+from repro.experiments.fig1b import assemble_fig1b, fig1b_grid, run_fig1b
+from repro.experiments.fig2 import assemble_fig2, fig2_grid, run_fig2
+from repro.experiments.profiles import ExperimentProfile
+from repro.experiments.table1 import assemble_table1, run_table1, table1_grid
+from repro.experiments.table2 import assemble_table2, run_table2, table2_grid
 
 
 @dataclass(frozen=True)
@@ -26,6 +39,85 @@ class ExperimentSpec:
     description: str
     runner: Callable
     benchmark: str
+    #: Grid factory: ``grid(profile)`` -> the experiment's default grid.
+    #: Profile-less experiments (fig1b, A2) ignore the argument.
+    grid: Optional[Callable[[Optional[ExperimentProfile]], Any]] = None
+    #: ``assemble(grid, results, bundle)`` -> the driver's result object;
+    #: ``bundle`` may be None for profile-less experiments.
+    assemble: Optional[Callable[[Any, Mapping[str, Any], Any], Any]] = None
+    #: Whether scenarios need a pre-trained model bundle.
+    needs_bundle: bool = True
+    #: Renders the assembled result for terminals (falls back to
+    #: ``result.format_table()`` when None).
+    formatter: Optional[Callable[[Any], str]] = None
+
+
+def _fig1b_grid(profile=None):
+    return fig1b_grid()
+
+
+def _fig1b_assemble(grid, results, bundle=None):
+    return assemble_fig1b(grid, results)
+
+
+def _fig2_grid(profile=None):
+    return fig2_grid(profile)
+
+
+def _table1_grid(profile=None):
+    return table1_grid(profile)
+
+
+def _table2_grid(profile=None):
+    return table2_grid(profile)
+
+
+def _encoding_grid(profile=None):
+    return ablations.encoding_ablation_grid(profile)
+
+
+def _pla_error_grid(profile=None):
+    return ablations.pla_error_grid()
+
+
+def _pla_error_assemble(grid, results, bundle=None):
+    return ablations.assemble_pla_error(grid, results)
+
+
+def _gamma_grid(profile: ExperimentProfile):
+    # The same three operating points the ablation benchmark sweeps.
+    gammas = [profile.gamma_long, profile.gamma_short, 10 * profile.gamma_short]
+    return ablations.gamma_tradeoff_grid(profile, gammas=gammas)
+
+
+def _gamma_assemble(grid, results, bundle=None):
+    return ablations.assemble_gamma_tradeoff(grid, results)
+
+
+def _format_pla_rows(rows) -> str:
+    lines = [f"{'pulses':>7} {'mode':<16} {'mean abs error':>15}"]
+    for row in rows:
+        lines.append(f"{row.num_pulses:>7d} {row.mode:<16} {row.mean_abs_error:>15.4f}")
+    return "\n".join(lines)
+
+
+def _format_gamma_rows(rows) -> str:
+    lines = [f"{'gamma':>10} {'avg pulses':>11} {'accuracy %':>11}  schedule"]
+    for row in rows:
+        lines.append(
+            f"{row.gamma:>10.4g} {row.average_pulses:>11.2f} {row.accuracy:>11.2f}  {row.schedule}"
+        )
+    return "\n".join(lines)
+
+
+def _format_encoding_result(result) -> str:
+    lines = [f"{'encoding':<14} {'sigma':>6} {'accumulated std':>16} {'accuracy %':>11}"]
+    for row in result.rows:
+        lines.append(
+            f"{row.encoding:<14} {row.sigma:>6.1f} {row.effective_noise_std:>16.3f} "
+            f"{row.accuracy:>11.2f}"
+        )
+    return "\n".join(lines)
 
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
@@ -35,34 +127,50 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         description="Noise variance of bit slicing vs thermometer coding versus bit width",
         runner=run_fig1b,
         benchmark="benchmarks/test_bench_fig1b_noise_variance.py",
+        grid=_fig1b_grid,
+        assemble=_fig1b_assemble,
+        needs_bundle=_runner_needs_bundle("fig1b"),
     ),
     "fig2": ExperimentSpec(
         identifier="fig2",
+        needs_bundle=_runner_needs_bundle("fig2"),
         paper_reference="Figure 2",
         description="Layer-wise noise sensitivity of the pre-trained VGG9",
         runner=run_fig2,
         benchmark="benchmarks/test_bench_fig2_sensitivity.py",
+        grid=_fig2_grid,
+        assemble=assemble_fig2,
     ),
     "table1": ExperimentSpec(
         identifier="table1",
+        needs_bundle=_runner_needs_bundle("table1"),
         paper_reference="Table I",
         description="Baseline / PLA-n / GBO accuracy under three noise levels",
         runner=run_table1,
         benchmark="benchmarks/test_bench_table1_gbo.py",
+        grid=_table1_grid,
+        assemble=assemble_table1,
     ),
     "table2": ExperimentSpec(
         identifier="table2",
+        needs_bundle=_runner_needs_bundle("table2"),
         paper_reference="Table II",
         description="Synergy of GBO with noise-injection adaptation (NIA)",
         runner=run_table2,
         benchmark="benchmarks/test_bench_table2_nia_synergy.py",
+        grid=_table2_grid,
+        assemble=assemble_table2,
     ),
     "ablation_encoding": ExperimentSpec(
         identifier="ablation_encoding",
+        needs_bundle=_runner_needs_bundle("ablation_encoding"),
         paper_reference="Section II-B (ablation A1)",
         description="End-to-end accuracy of thermometer vs bit-slicing encodings",
         runner=ablations.run_encoding_ablation,
         benchmark="benchmarks/test_bench_ablation_encoding.py",
+        grid=_encoding_grid,
+        assemble=ablations.assemble_encoding_ablation,
+        formatter=_format_encoding_result,
     ),
     "ablation_pla_error": ExperimentSpec(
         identifier="ablation_pla_error",
@@ -70,15 +178,89 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         description="PLA approximation error versus pulse count and rounding mode",
         runner=ablations.run_pla_error_ablation,
         benchmark="benchmarks/test_bench_ablation_pla_error.py",
+        grid=_pla_error_grid,
+        assemble=_pla_error_assemble,
+        needs_bundle=_runner_needs_bundle("ablation_pla_error"),
+        formatter=_format_pla_rows,
     ),
     "ablation_gamma": ExperimentSpec(
         identifier="ablation_gamma",
+        needs_bundle=_runner_needs_bundle("ablation_gamma"),
         paper_reference="Eq. 6 (ablation A3)",
         description="Latency/accuracy trade-off as the GBO gamma is swept",
         runner=ablations.run_gamma_tradeoff,
         benchmark="benchmarks/test_bench_ablation_gamma.py",
+        grid=_gamma_grid,
+        assemble=_gamma_assemble,
+        formatter=_format_gamma_rows,
     ),
 }
+
+
+def pin_grid_engine(grid, engine: Optional[str]):
+    """Rebuild a grid's engine-dependent specs with an explicit engine pin.
+
+    Specs whose grid left ``engine=None`` belong to engine-independent
+    computations (e.g. the A2 PLA-error ablation) — pinning them would only
+    move their results to store keys the default grids never look up, so
+    they pass through untouched.
+    """
+    if engine is None:
+        return grid
+    from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec
+
+    return ScenarioGrid(
+        name=grid.name,
+        specs=tuple(
+            ScenarioSpec.from_dict({**s.as_dict(), "engine": engine})
+            if s.engine is not None
+            else s
+            for s in grid
+        ),
+    )
+
+
+def format_result(spec: ExperimentSpec, result: Any) -> str:
+    """Render an assembled experiment result for terminals."""
+    if spec.formatter is not None:
+        return spec.formatter(result)
+    return result.format_table()
+
+
+def run_experiment(
+    identifier: str,
+    profile: Optional[ExperimentProfile] = None,
+    workers: int = 0,
+    store=None,
+    engine: Optional[str] = None,
+    resume: bool = True,
+    bundle: Optional[ExperimentBundle] = None,
+):
+    """Run one registered experiment through the scenario runner.
+
+    Returns ``(assembled result, GridRunResult)``.  This is the CLI's and
+    the examples' entry point: grid construction, execution (serial,
+    parallel or resumed) and assembly all flow through the registry so every
+    consumer sees the same scenarios.
+    """
+    from repro.experiments.runner.executor import run_grid
+
+    try:
+        spec = EXPERIMENTS[identifier]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown experiment {identifier!r}; available: {sorted(EXPERIMENTS)}"
+        ) from error
+
+    if spec.needs_bundle and bundle is None:
+        bundle = get_pretrained_bundle(profile)
+    if profile is None and bundle is not None:
+        profile = bundle.profile
+
+    grid = pin_grid_engine(spec.grid(profile), engine)
+    outcome = run_grid(grid, workers=workers, store=store, bundle=bundle, resume=resume)
+    assembled = spec.assemble(grid, outcome.results, bundle)
+    return assembled, outcome
 
 
 def describe_experiments() -> str:

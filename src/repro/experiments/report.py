@@ -4,11 +4,17 @@ Turns the result dataclasses of the experiment drivers into the markdown
 tables used by ``EXPERIMENTS.md``, so the documented numbers can be
 regenerated mechanically from a benchmark run instead of being copied by
 hand.
+
+Since the scenario runner landed, reports can also be built straight from
+the on-disk result store (:func:`build_report_from_store`): every registered
+experiment whose grid is fully present in the store is assembled and
+rendered — no recomputation, so ``python -m repro.experiments report``
+after an (even interrupted, then resumed) ``run all`` is instant.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.fig1b import Fig1bResult
 from repro.experiments.fig2 import Fig2Result
@@ -108,24 +114,147 @@ def table2_markdown(result: Table2Result) -> str:
     return f"Clean accuracy: {result.clean_accuracy:.2f} %.\n\n{table}"
 
 
+def encoding_ablation_markdown(result) -> str:
+    """Markdown table of the A1 encoding-scheme ablation."""
+    rows = [
+        (row.encoding, _fmt(row.sigma, 1), _fmt(row.effective_noise_std, 3), _fmt(row.accuracy))
+        for row in result.rows
+    ]
+    table = _markdown_table(
+        ["encoding", "sigma", "accumulated noise std", "accuracy %"], rows
+    )
+    return f"Activation levels: {result.levels}.\n\n{table}"
+
+
+def pla_error_markdown(rows) -> str:
+    """Markdown table of the A2 PLA approximation-error ablation."""
+    body = [
+        (row.num_pulses, row.mode, f"{row.mean_abs_error:.4f}") for row in rows
+    ]
+    return _markdown_table(["pulses", "rounding mode", "mean abs error"], body)
+
+
+def gamma_tradeoff_markdown(rows) -> str:
+    """Markdown table of the A3 gamma trade-off ablation."""
+    body = [
+        (f"{row.gamma:.4g}", _fmt(row.average_pulses), _fmt(row.accuracy), str(row.schedule))
+        for row in rows
+    ]
+    return _markdown_table(["gamma", "avg pulses", "accuracy %", "schedule"], body)
+
+
+#: Section metadata per registry identifier: (title, renderer).
+_SECTIONS = {
+    "fig1b": ("Fig. 1(b) — encoding noise variance", fig1b_markdown),
+    "fig2": ("Fig. 2 — layer-wise noise sensitivity", fig2_markdown),
+    "table1": ("Table I — Baseline / PLA / GBO", table1_markdown),
+    "table2": ("Table II — synergy with NIA", table2_markdown),
+    "ablation_encoding": ("Ablation A1 — encoding schemes end to end", encoding_ablation_markdown),
+    "ablation_pla_error": ("Ablation A2 — PLA approximation error", pla_error_markdown),
+    "ablation_gamma": ("Ablation A3 — GBO gamma trade-off", gamma_tradeoff_markdown),
+}
+
+
 def full_report(
     fig1b: Optional[Fig1bResult] = None,
     fig2: Optional[Fig2Result] = None,
     table1: Optional[Table1Result] = None,
     table2: Optional[Table2Result] = None,
     title: str = "Reproduction report",
+    **extra_sections: Any,
 ) -> str:
-    """Assemble a complete markdown report from whichever results are given."""
+    """Assemble a complete markdown report from whichever results are given.
+
+    ``extra_sections`` accepts any further registry identifier
+    (``ablation_encoding`` etc.) with its assembled result.
+    """
+    results: Dict[str, Any] = {
+        "fig1b": fig1b,
+        "fig2": fig2,
+        "table1": table1,
+        "table2": table2,
+    }
+    results.update(extra_sections)
+    unknown = [
+        key for key, value in results.items() if value is not None and key not in _SECTIONS
+    ]
+    if unknown:
+        # Silently dropping a section would make a run look complete while a
+        # whole table is missing from the report.
+        raise KeyError(
+            f"no report section registered for {sorted(unknown)}; add it to "
+            f"repro.experiments.report._SECTIONS"
+        )
     sections: List[str] = [f"# {title}"]
-    if fig1b is not None:
-        sections.append("## Fig. 1(b) — encoding noise variance\n\n" + fig1b_markdown(fig1b))
-    if fig2 is not None:
-        sections.append("## Fig. 2 — layer-wise noise sensitivity\n\n" + fig2_markdown(fig2))
-    if table1 is not None:
-        sections.append("## Table I — Baseline / PLA / GBO\n\n" + table1_markdown(table1))
-    if table2 is not None:
-        sections.append("## Table II — synergy with NIA\n\n" + table2_markdown(table2))
+    for identifier, (section_title, renderer) in _SECTIONS.items():
+        result = results.get(identifier)
+        if result is not None:
+            sections.append(f"## {section_title}\n\n" + renderer(result))
     return "\n\n".join(sections) + "\n"
+
+
+def build_report_from_store(
+    store,
+    profile=None,
+    experiments: Optional[Sequence[str]] = None,
+    title: str = "Reproduction report",
+    engine: Optional[str] = None,
+) -> str:
+    """Build a markdown report purely from the scenario result store.
+
+    For every requested registry experiment, the default grid is constructed
+    and looked up in ``store``; experiments whose scenarios are all present
+    are assembled and rendered, the rest are listed as pending.  Nothing is
+    recomputed — this is the read-only face of the scenario runner.  (The
+    clean-accuracy header comes from the pre-train checkpoint's metadata;
+    only if even that is missing is a real bundle materialised.)
+    """
+    from types import SimpleNamespace
+
+    from repro.experiments.common import cached_clean_accuracy, get_pretrained_bundle
+    from repro.experiments.profiles import ExperimentProfile, get_profile
+    from repro.experiments.registry import EXPERIMENTS, pin_grid_engine
+
+    if not isinstance(profile, ExperimentProfile):
+        profile = get_profile(profile)  # None -> REPRO_PROFILE / "fast"
+    identifiers = list(experiments) if experiments else list(EXPERIMENTS)
+    rendered: Dict[str, Any] = {}
+    pending: List[str] = []
+    bundle = None
+    for identifier in identifiers:
+        spec = EXPERIMENTS[identifier]
+        # The same engine pin `run` applies, so a suite executed under
+        # --engine E can be rendered with the matching report --engine E.
+        grid = pin_grid_engine(spec.grid(profile), engine)
+        results = {}
+        complete = True
+        for scenario in grid:
+            cached = store.get(scenario)
+            if cached is None:
+                complete = False
+                break
+            results[scenario.hash] = cached
+        if not complete:
+            pending.append(identifier)
+            continue
+        if spec.needs_bundle and bundle is None:
+            clean = cached_clean_accuracy(profile)
+            if clean is not None:
+                # Assemblers only read .profile and .clean_accuracy.
+                bundle = SimpleNamespace(profile=profile, clean_accuracy=clean)
+            else:
+                bundle = get_pretrained_bundle(profile)
+        rendered[identifier] = spec.assemble(grid, results, bundle if spec.needs_bundle else None)
+
+    text = full_report(title=title, **rendered)
+    if pending:
+        text += (
+            "\n## Pending\n\nNot yet in the result store (run "
+            "`python -m repro.experiments run <id>`): "
+            + ", ".join(f"`{identifier}`" for identifier in pending)
+            + "\n"
+        )
+    return text
 
 
 def write_report(path: str, **results) -> str:

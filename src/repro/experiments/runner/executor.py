@@ -1,0 +1,252 @@
+"""Grid execution: serial oracle, worker pool, and cached resume.
+
+:func:`run_grid` is the single entry point every experiment driver, the
+benchmark harness and the ``python -m repro.experiments`` CLI go through.
+
+Execution modes
+---------------
+``workers <= 1`` (default)
+    Scenarios run serially in-process.  This is the bit-exact oracle: every
+    scenario reseeds from its spec hash and starts from the pre-trained
+    snapshot, so the serial order is irrelevant to the results.
+
+``workers > 1``
+    Independent scenarios are sharded across a ``multiprocessing`` spawn
+    pool.  Workers rebuild their bundles from the on-disk pre-train cache
+    (the parent prepares it first) and execute scenarios with exactly the
+    same per-scenario derived seeds, so the results are bit-identical to the
+    serial oracle.  BLAS threading is pinned to one thread per worker to
+    avoid oversubscription.
+
+With a persistent :class:`~repro.experiments.runner.store.ResultStore`,
+completed scenarios are skipped on re-run (resume); without one, a
+per-call :class:`~repro.experiments.runner.store.MemoryStore` still shares
+derived stages (e.g. NIA weights) between the scenarios of the call.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    ensure_checkpoint_on_disk,
+    get_pretrained_bundle,
+    profile_token,
+)
+from repro.experiments.profiles import get_profile
+from repro.experiments.runner.scenarios import execute_scenario, needs_bundle
+from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec
+from repro.experiments.runner.store import MemoryStore, ResultStore, jsonify_result
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("repro.runner")
+
+#: BLAS/thread environment pinned in worker processes so N workers do not
+#: fight over the machine with N x num_threads BLAS pools.
+_WORKER_THREAD_ENV = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS")
+
+
+@dataclass
+class GridRunResult:
+    """Outcome of one :func:`run_grid` call."""
+
+    grid: ScenarioGrid
+    results: Dict[str, Dict[str, Any]]  # spec hash -> scenario result
+    executed: int = 0
+    cached: int = 0
+    workers: int = 0
+    duration_s: float = 0.0
+    per_scenario_s: Dict[str, float] = field(default_factory=dict)
+
+    def result_for(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        """The result of one member scenario (raises on a missing hash)."""
+        return self.results[spec.hash]
+
+    def in_grid_order(self) -> List[Tuple[ScenarioSpec, Dict[str, Any]]]:
+        """(spec, result) pairs in the grid's declaration order."""
+        return [(spec, self.results[spec.hash]) for spec in self.grid]
+
+
+def _bundle_for(spec: ScenarioSpec, bundles: Dict[str, Any], explicit_bundle=None):
+    """The pre-trained bundle a spec runs against (memoised per profile)."""
+    if not needs_bundle(spec.experiment):
+        return None
+    profile = get_profile(spec.profile).with_overrides(**spec.override_dict())
+    token = profile_token(profile)
+    if explicit_bundle is not None and profile_token(explicit_bundle.profile) == token:
+        return explicit_bundle
+    if token not in bundles:
+        bundles[token] = get_pretrained_bundle(profile)
+    return bundles[token]
+
+
+# ---------------------------------------------------------------------------
+# Worker-pool plumbing (module level so the spawn pickler can find it)
+# ---------------------------------------------------------------------------
+_WORKER_STAGE_STORE = None
+
+
+def _worker_init(cache_dir: Optional[str], store_root: Optional[str]) -> None:
+    global _WORKER_STAGE_STORE
+    if cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+    # One stage store per worker process: with a persistent store, stages
+    # are shared across all workers via disk; without one, a process-local
+    # MemoryStore at least shares stages between the scenarios this worker
+    # executes (instead of recomputing them per scenario).
+    _WORKER_STAGE_STORE = ResultStore(store_root) if store_root else MemoryStore()
+
+
+def _worker_run(payload: Dict[str, Any]) -> Tuple[str, Dict[str, Any], float]:
+    spec = ScenarioSpec.from_dict(payload)
+    stage_store = _WORKER_STAGE_STORE if _WORKER_STAGE_STORE is not None else MemoryStore()
+    bundle = None
+    if needs_bundle(spec.experiment):
+        profile = get_profile(spec.profile).with_overrides(**spec.override_dict())
+        bundle = get_pretrained_bundle(profile)
+    start = time.perf_counter()
+    result = execute_scenario(spec, bundle=bundle, stage_store=stage_store)
+    return spec.hash, result, time.perf_counter() - start
+
+
+def _run_parallel(
+    pending: Sequence[ScenarioSpec],
+    workers: int,
+    store: Optional[ResultStore],
+    outcome: GridRunResult,
+) -> None:
+    """Execute ``pending`` on a spawn pool, collecting into ``outcome``."""
+    # Make sure every needed pre-trained checkpoint is on disk before any
+    # worker starts, so workers never pre-train redundantly.
+    bundles: Dict[str, Any] = {}
+    for spec in pending:
+        bundle = _bundle_for(spec, bundles)
+        if bundle is not None:
+            ensure_checkpoint_on_disk(bundle)
+
+    store_root = store.root if isinstance(store, ResultStore) else None
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+
+    # Pin worker BLAS pools to one thread each; the env must be set before
+    # the child process loads numpy, hence before the pool spawns.
+    saved_env = {name: os.environ.get(name) for name in _WORKER_THREAD_ENV}
+    for name in _WORKER_THREAD_ENV:
+        os.environ[name] = "1"
+    try:
+        context = multiprocessing.get_context("spawn")
+        by_hash = {spec.hash: spec for spec in pending}
+        # ProcessPoolExecutor (rather than multiprocessing.Pool) so a worker
+        # dying at bootstrap surfaces as BrokenProcessPool instead of the
+        # pool silently respawning workers forever.
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(cache_dir, store_root),
+        ) as pool:
+            futures = [pool.submit(_worker_run, spec.as_dict()) for spec in pending]
+            for future in as_completed(futures):
+                spec_hash, result, elapsed = future.result()
+                spec = by_hash[spec_hash]
+                if store is not None:
+                    result = store.put(spec, result)
+                else:
+                    result = jsonify_result(result)
+                outcome.results[spec_hash] = result
+                outcome.per_scenario_s[spec_hash] = elapsed
+                outcome.executed += 1
+                LOGGER.info(
+                    "scenario %s done in %.2fs (%d/%d)",
+                    spec.label(),
+                    elapsed,
+                    outcome.executed + outcome.cached,
+                    len(outcome.grid),
+                )
+    finally:
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def run_grid(
+    grid: ScenarioGrid,
+    workers: int = 0,
+    store: Optional[ResultStore] = None,
+    bundle=None,
+    resume: bool = True,
+) -> GridRunResult:
+    """Execute every scenario of ``grid`` and return all results.
+
+    Parameters
+    ----------
+    workers:
+        ``<= 1`` runs the serial in-process oracle; ``> 1`` shards pending
+        scenarios across that many spawned worker processes.
+    store:
+        Persistent result store.  With ``resume=True`` (default), scenarios
+        already present in the store are returned from cache instead of
+        recomputed — an interrupted suite picks up where it left off.
+        ``None`` keeps results in memory for this call only (derived stages
+        are still shared within the call).
+    bundle:
+        Optional pre-built bundle to execute against in serial mode (the
+        benchmark harness shares one across experiments); only used for
+        specs whose profile matches it.
+    resume:
+        Set to ``False`` to recompute every scenario even on store hits.
+    """
+    start = time.perf_counter()
+    outcome = GridRunResult(grid=grid, results={}, workers=max(workers, 0))
+    stage_store = store if store is not None else MemoryStore()
+
+    pending: List[ScenarioSpec] = []
+    for spec in grid:
+        cached = store.get(spec) if (store is not None and resume) else None
+        if cached is not None:
+            outcome.results[spec.hash] = cached
+            outcome.cached += 1
+        else:
+            pending.append(spec)
+
+    if pending and workers > 1:
+        _run_parallel(pending, workers, store, outcome)
+    else:
+        bundles: Dict[str, Any] = {}
+        touched: Dict[int, Any] = {}
+        for spec in pending:
+            spec_bundle = _bundle_for(spec, bundles, explicit_bundle=bundle)
+            if spec_bundle is not None:
+                touched[id(spec_bundle)] = spec_bundle
+            scenario_start = time.perf_counter()
+            result = execute_scenario(spec, bundle=spec_bundle, stage_store=stage_store)
+            elapsed = time.perf_counter() - scenario_start
+            if store is not None:
+                result = store.put(spec, result)
+            else:
+                result = jsonify_result(result)
+            outcome.results[spec.hash] = result
+            outcome.per_scenario_s[spec.hash] = elapsed
+            outcome.executed += 1
+            LOGGER.info(
+                "scenario %s done in %.2fs (%d/%d)",
+                spec.label(),
+                elapsed,
+                outcome.executed + outcome.cached,
+                len(grid),
+            )
+        # Leave shared models as the drivers always have: at the pre-trained
+        # snapshot, trainable, in clean mode.
+        for spec_bundle in touched.values():
+            spec_bundle.restore_pretrained()
+            spec_bundle.model.requires_grad_(True)
+            spec_bundle.model.set_mode("clean")
+
+    outcome.duration_s = time.perf_counter() - start
+    return outcome

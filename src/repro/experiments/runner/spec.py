@@ -1,0 +1,320 @@
+"""Declarative scenario model: :class:`ScenarioSpec` and :class:`ScenarioGrid`.
+
+A spec is a frozen, hashable, JSON-serialisable description of one scenario.
+Its content hash keys the on-disk result store and derives the scenario's
+RNG seed, which is what makes the runner's three execution modes (serial
+oracle, worker pool, cached resume) bit-identical: a scenario's randomness
+depends only on *what* it is, never on *when* or *where* it runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+#: Bump when the execution semantics change incompatibly; part of the hash,
+#: so stale store entries are simply never looked up again.
+SPEC_VERSION = 1
+
+
+def _freeze(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonicalise a mapping into a sorted, hashable tuple of pairs."""
+    if not mapping:
+        return ()
+    items = []
+    for key in sorted(mapping):
+        value = mapping[key]
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        items.append((str(key), value))
+    return tuple(items)
+
+
+def stable_hash(payload: Any, length: int = 16) -> str:
+    """Hex digest of a JSON-canonicalised payload (stable across processes)."""
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
+
+
+def engine_token(engine: Any) -> Optional[str]:
+    """Canonical registry name for an engine pin.
+
+    Specs must stay JSON-canonical and stable across processes, so engine
+    pins are stored as registry names.  Accepts ``None``, a name, or an
+    engine instance (coerced via its ``name`` attribute, the same identity
+    the :mod:`repro.backend` registry uses); anything else is rejected
+    loudly rather than stringified into an address-dependent hash.
+    """
+    if engine is None or isinstance(engine, str):
+        return engine
+    name = getattr(engine, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    raise TypeError(
+        f"engine pin must be None, a registry name or an engine instance "
+        f"with a .name, got {engine!r}"
+    )
+
+
+def profile_axes(profile, engine: Any = None) -> Dict[str, Any]:
+    """Spec fields binding a scenario to a concrete profile and engine.
+
+    Grid builders spread this into :meth:`ScenarioSpec.create` so every
+    spec is fully self-describing:
+
+    * the profile travels as ``name`` + the overrides that differ from the
+      registered base (a worker rebuilds it exactly, and an overridden
+      profile hashes differently from the base one);
+    * the engine pin is resolved *now* — explicit argument, else the
+      ``REPRO_BACKEND`` environment variable, else the profile's backend —
+      so results produced under different backends can never answer each
+      other's store lookups (the engines agree only statistically on noisy
+      reads, not sample-for-sample).
+    """
+    from repro.experiments.profiles import profile_overrides
+
+    return {
+        "profile": profile.name,
+        "overrides": profile_overrides(profile),
+        "engine": engine_token(engine)
+        or os.environ.get("REPRO_BACKEND", profile.backend),
+    }
+
+
+def grid_profile(grid: "ScenarioGrid", fallback: Any = None):
+    """The profile a grid's scenarios execute under, rebuilt from the specs.
+
+    Assemblers use this instead of a bundle's profile: the in-process bundle
+    cache deliberately aliases profiles that differ only in eval-only fields
+    (they share pre-trained weights), so the bundle's profile may lack the
+    overrides the grid was built with.
+    """
+    first = next(iter(grid), None)
+    if first is not None and first.profile:
+        from repro.experiments.profiles import get_profile
+
+        return get_profile(first.profile).with_overrides(**first.override_dict())
+    return fallback.profile if fallback is not None else None
+
+
+def stable_seed(payload: Any) -> int:
+    """A 31-bit RNG seed derived from a JSON-canonicalised payload."""
+    text = json.dumps(payload, sort_keys=True, default=str)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Description of one scenario: a single (method, configuration) cell.
+
+    Attributes
+    ----------
+    experiment:
+        Registry identifier of the owning experiment (``"table1"``, ...).
+    method:
+        Method label within the experiment (``"Baseline"``, ``"PLA12"``,
+        ``"GBO-long"``, ``"NIA+GBO"``, ``"layer:conv3"``, ...).
+    profile:
+        Experiment profile name; empty for profile-less experiments
+        (``fig1b``, ``ablation_pla_error``).
+    overrides:
+        Frozen profile field overrides (from
+        :meth:`~repro.experiments.profiles.ExperimentProfile.with_overrides`).
+    sigma / gamma:
+        The scenario's noise level and GBO latency weight, when applicable.
+    engine:
+        Simulation-engine pin (registry name) for everything the scenario
+        runs; ``None`` tracks the profile's backend / ``REPRO_BACKEND``.
+    seed:
+        Base seed mixed into the derived per-scenario seed; ``None`` uses
+        the profile's seed (or 0 for profile-less experiments).
+    params:
+        Frozen experiment-specific extras (pulse counts, layer index, ...).
+    """
+
+    experiment: str
+    method: str = ""
+    profile: str = ""
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+    sigma: Optional[float] = None
+    gamma: Optional[float] = None
+    engine: Optional[str] = None
+    seed: Optional[int] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        experiment: str,
+        method: str = "",
+        profile: str = "",
+        overrides: Optional[Mapping[str, Any]] = None,
+        sigma: Optional[float] = None,
+        gamma: Optional[float] = None,
+        engine: Optional[str] = None,
+        seed: Optional[int] = None,
+        **params: Any,
+    ) -> "ScenarioSpec":
+        """Build a spec with mappings canonicalised into frozen tuples."""
+        return cls(
+            experiment=experiment,
+            method=method,
+            profile=profile,
+            overrides=_freeze(overrides),
+            sigma=None if sigma is None else float(sigma),
+            gamma=None if gamma is None else float(gamma),
+            engine=engine_token(engine),
+            seed=seed,
+            params=_freeze(params),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def param(self, name: str, default: Any = None) -> Any:
+        """Look up an experiment-specific extra parameter."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def override_dict(self) -> Dict[str, Any]:
+        """Profile overrides as a plain dict."""
+        return {key: value for key, value in self.overrides}
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form (used for hashing and storage)."""
+        return {
+            "version": SPEC_VERSION,
+            "experiment": self.experiment,
+            "method": self.method,
+            "profile": self.profile,
+            "overrides": [list(pair) for pair in self.overrides],
+            "sigma": self.sigma,
+            "gamma": self.gamma,
+            "engine": self.engine,
+            "seed": self.seed,
+            "params": [list(pair) for pair in self.params],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`as_dict` output (e.g. in a worker)."""
+        return cls(
+            experiment=payload["experiment"],
+            method=payload.get("method", ""),
+            profile=payload.get("profile", ""),
+            overrides=tuple(
+                (pair[0], tuple(pair[1]) if isinstance(pair[1], list) else pair[1])
+                for pair in payload.get("overrides", ())
+            ),
+            sigma=payload.get("sigma"),
+            gamma=payload.get("gamma"),
+            engine=payload.get("engine"),
+            seed=payload.get("seed"),
+            params=tuple(
+                (pair[0], tuple(pair[1]) if isinstance(pair[1], list) else pair[1])
+                for pair in payload.get("params", ())
+            ),
+        )
+
+    @cached_property
+    def hash(self) -> str:
+        """Stable content hash; the store key and seed source."""
+        return stable_hash(self.as_dict())
+
+    def derived_seed(self, base: Optional[int] = None) -> int:
+        """Per-scenario RNG seed: a pure function of the spec content.
+
+        ``base`` defaults to the spec's own ``seed`` field (typically the
+        profile seed), so re-running an identical grid reproduces identical
+        noise streams while two different scenarios never share one.
+        """
+        if base is None:
+            base = self.seed if self.seed is not None else 0
+        return stable_seed({"spec": self.hash, "base": base})
+
+    def label(self) -> str:
+        """Short human-readable identity for logs and progress lines."""
+        bits = [self.experiment]
+        if self.method:
+            bits.append(self.method)
+        if self.sigma is not None:
+            bits.append(f"sigma={self.sigma:g}")
+        if self.gamma is not None:
+            bits.append(f"gamma={self.gamma:g}")
+        return " ".join(bits)
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """A named, ordered collection of scenario specs."""
+
+    name: str
+    specs: Tuple[ScenarioSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: Dict[str, ScenarioSpec] = {}
+        for spec in self.specs:
+            if spec.hash in seen:
+                raise ValueError(
+                    f"duplicate scenario in grid {self.name!r}: {spec.label()}"
+                )
+            seen[spec.hash] = spec
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @cached_property
+    def hash(self) -> str:
+        """Content hash over all member specs (order-sensitive)."""
+        return stable_hash([spec.as_dict() for spec in self.specs])
+
+    def experiments(self) -> Tuple[str, ...]:
+        """Distinct experiment identifiers in first-appearance order."""
+        ordered = []
+        for spec in self.specs:
+            if spec.experiment not in ordered:
+                ordered.append(spec.experiment)
+        return tuple(ordered)
+
+    def subset(self, predicate) -> "ScenarioGrid":
+        """A new grid with only the specs matching ``predicate``."""
+        return ScenarioGrid(
+            name=self.name, specs=tuple(s for s in self.specs if predicate(s))
+        )
+
+    @classmethod
+    def concat(cls, name: str, grids: Iterable["ScenarioGrid"]) -> "ScenarioGrid":
+        """Concatenate several grids into one suite."""
+        specs: Tuple[ScenarioSpec, ...] = ()
+        for grid in grids:
+            specs = specs + grid.specs
+        return cls(name=name, specs=specs)
+
+    @classmethod
+    def from_product(
+        cls,
+        name: str,
+        experiment: str,
+        methods: Sequence[str],
+        sigmas: Sequence[Optional[float]] = (None,),
+        **common: Any,
+    ) -> "ScenarioGrid":
+        """Cross-product helper: one spec per (method, sigma) pair."""
+        specs = tuple(
+            ScenarioSpec.create(
+                experiment=experiment, method=method, sigma=sigma, **common
+            )
+            for sigma in sigmas
+            for method in methods
+        )
+        return cls(name=name, specs=specs)

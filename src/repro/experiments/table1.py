@@ -13,12 +13,16 @@ reduced-scale synthetic task (see DESIGN.md); the reproduction targets the
 qualitative shape: accuracy increases with pulse count, and GBO's
 heterogeneous schedule beats the uniform schedule of similar average pulse
 count.
+
+Expressed as a grid on the scenario runner: one scenario per (method, sigma)
+cell, so independent cells shard across worker processes and completed cells
+resume from the result store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.gbo import GBOConfig, GBOTrainer
 from repro.core.schedule import PulseSchedule
@@ -116,6 +120,171 @@ def _paper_reference(method: str, paper_sigma: Optional[float]) -> Tuple[Optiona
     return entry
 
 
+def _paper_sigma_for(profile: ExperimentProfile, sigma_index: int) -> Optional[float]:
+    """Paper noise level paired positionally with the profile's sigma rank."""
+    if 0 <= sigma_index < len(profile.paper_sigmas):
+        return profile.paper_sigmas[sigma_index]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Scenario grid
+# ---------------------------------------------------------------------------
+def grid_sigma_rank(grid, spec) -> int:
+    """Rank of a spec's sigma within its grid's sweep order.
+
+    Used at *assembly* to pair each reproduced noise level positionally with
+    the paper's sigma of the same rank.  Derived from the grid rather than
+    stored in the spec: the pairing is presentation metadata, and baking a
+    positional index into the content hash would give the same physical
+    scenario a different identity (seed, store key) depending on which other
+    sweep values it was run alongside.
+    """
+    order: list = []
+    for member in grid:
+        if member.sigma not in order:
+            order.append(member.sigma)
+    return order.index(spec.sigma)
+
+
+def table1_grid(
+    profile: ExperimentProfile,
+    sigmas: Optional[Sequence[float]] = None,
+    pla_pulse_counts: Sequence[int] = (10, 12, 14, 16),
+    include_gbo: bool = True,
+    engine=None,
+    gbo_engine=None,
+):
+    """One scenario per Table I cell: (method, sigma)."""
+    from repro.experiments.runner.spec import (
+        ScenarioGrid,
+        ScenarioSpec,
+        engine_token,
+        profile_axes,
+    )
+
+    gbo_engine = engine_token(gbo_engine)
+    axes = profile_axes(profile, engine)
+    sigmas = list(sigmas if sigmas is not None else profile.sigmas)
+    specs = []
+    for sigma in sigmas:
+        uniform_methods = [("Baseline", profile.base_pulses)] + [
+            (f"PLA{count}", count) for count in pla_pulse_counts
+        ]
+        for method, pulses in uniform_methods:
+            specs.append(
+                ScenarioSpec.create(
+                    experiment="table1",
+                    method=method,
+                    sigma=sigma,
+                    pulses=int(pulses),
+                    **axes,
+                )
+            )
+        if not include_gbo:
+            continue
+        for method, gamma in (
+            ("GBO-short", profile.gamma_short),
+            ("GBO-long", profile.gamma_long),
+        ):
+            specs.append(
+                ScenarioSpec.create(
+                    experiment="table1",
+                    method=method,
+                    sigma=sigma,
+                    gamma=gamma,
+                    gbo_engine=gbo_engine,
+                    **axes,
+                )
+            )
+    return ScenarioGrid(name="table1", specs=tuple(specs))
+
+
+def _evaluate_schedule(ctx, model, schedule: PulseSchedule) -> float:
+    profile = ctx.profile
+    return noisy_accuracy(
+        model,
+        ctx.test_loader,
+        sigma=ctx.spec.sigma,
+        schedule=schedule,
+        sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+        num_repeats=profile.eval_repeats,
+    )
+
+
+def run_gbo_stage(ctx, model, gamma: float, gbo_engine=None) -> "PulseSchedule":
+    """One GBO training on the current model state (shared with Table II)."""
+    profile = ctx.profile
+    model.set_noise(ctx.spec.sigma, relative_to_fan_in=profile.noise_relative_to_fan_in)
+    trainer = GBOTrainer(
+        model,
+        GBOConfig(
+            space=PulseScalingSpace(base_pulses=profile.base_pulses),
+            gamma=float(gamma),
+            learning_rate=profile.gbo_lr,
+            epochs=profile.gbo_epochs,
+        ),
+        engine=gbo_engine,
+    )
+    gbo_result = trainer.train(ctx.gbo_loader)
+    # GBO froze the weights for its logit-only optimisation; undo so later
+    # stages (e.g. NIA) can fine-tune again.
+    model.requires_grad_(True)
+    return gbo_result.schedule
+
+
+def execute_table1_scenario(ctx) -> Dict[str, Any]:
+    """One Table I cell: evaluate a uniform schedule or train + evaluate GBO."""
+    spec = ctx.spec
+    model = ctx.model()
+    if spec.method.startswith("GBO"):
+        schedule = run_gbo_stage(ctx, model, spec.gamma, gbo_engine=spec.param("gbo_engine"))
+    else:
+        schedule = PulseSchedule.uniform(
+            model.num_encoded_layers(), int(spec.param("pulses"))
+        )
+    accuracy = _evaluate_schedule(ctx, model, schedule)
+    LOGGER.info(
+        "table1 sigma=%.2f %s: acc=%.2f%% avg_pulses=%.2f",
+        spec.sigma,
+        spec.method,
+        accuracy,
+        schedule.average_pulses,
+    )
+    return {
+        "schedule": schedule.as_list(),
+        "average_pulses": schedule.average_pulses,
+        "accuracy": accuracy,
+    }
+
+
+def assemble_table1(
+    grid, results: Mapping[str, Mapping[str, Any]], bundle: ExperimentBundle
+) -> Table1Result:
+    """Fold per-cell scenario results back into the paper's table layout."""
+    from repro.experiments.runner.spec import grid_profile
+
+    profile = grid_profile(grid, fallback=bundle)
+    result = Table1Result(clean_accuracy=bundle.clean_accuracy)
+    for spec in grid:
+        row = results[spec.hash]
+        paper_sigma = _paper_sigma_for(profile, grid_sigma_rank(grid, spec))
+        paper_accuracy, paper_pulses = _paper_reference(spec.method, paper_sigma)
+        result.rows.append(
+            Table1Row(
+                method=spec.method,
+                sigma=spec.sigma,
+                paper_sigma=paper_sigma,
+                schedule=[int(p) for p in row["schedule"]],
+                average_pulses=row["average_pulses"],
+                accuracy=row["accuracy"],
+                paper_accuracy=paper_accuracy,
+                paper_average_pulses=paper_pulses,
+            )
+        )
+    return result
+
+
 def run_table1(
     profile: Optional[ExperimentProfile] = None,
     bundle: Optional[ExperimentBundle] = None,
@@ -123,6 +292,9 @@ def run_table1(
     pla_pulse_counts: Sequence[int] = (10, 12, 14, 16),
     include_gbo: bool = True,
     gbo_engine=None,
+    engine=None,
+    workers: int = 0,
+    store=None,
 ) -> Table1Result:
     """Reproduce Table I on the profile's pre-trained model.
 
@@ -140,110 +312,31 @@ def run_table1(
     include_gbo:
         Allow skipping the (expensive) GBO rows, used by smoke tests.
     gbo_engine:
-        Simulation engine (instance or registry name) for the GBO training
-        rows; ``None`` keeps the profile's backend.  The GBO stage dominates
-        the driver's runtime, so forcing ``"vectorized"`` here (the default
-        via profiles) folds every candidate mixture into one batched read.
+        Simulation engine (registry name) for the GBO training stage only;
+        ``None`` keeps the scenario's engine.  The GBO stage dominates the
+        driver's runtime, so forcing ``"vectorized"`` here (the default via
+        profiles) folds every candidate mixture into one batched read.
+    engine:
+        Simulation engine (registry name) pinned on everything each scenario
+        runs; ``None`` keeps the profile's backend.
+    workers / store:
+        Scenario-runner execution controls (see
+        :func:`repro.experiments.runner.run_grid`).
     """
+    from repro.experiments.runner.executor import run_grid
+
     bundle = bundle or get_pretrained_bundle(profile)
-    profile = bundle.profile
-    model = bundle.model
-    sigmas = list(sigmas if sigmas is not None else profile.sigmas)
-    num_layers = model.num_encoded_layers()
-    space = PulseScalingSpace(base_pulses=profile.base_pulses)
-
-    result = Table1Result(clean_accuracy=bundle.clean_accuracy)
-
-    for sigma_index, sigma in enumerate(sigmas):
-        paper_sigma = (
-            profile.paper_sigmas[sigma_index]
-            if sigma_index < len(profile.paper_sigmas)
-            else None
-        )
-
-        uniform_methods = [("Baseline", profile.base_pulses)] + [
-            (f"PLA{count}", count) for count in pla_pulse_counts
-        ]
-        for method, pulses in uniform_methods:
-            schedule = PulseSchedule.uniform(num_layers, pulses)
-            accuracy = noisy_accuracy(
-                model,
-                bundle.test_loader,
-                sigma=sigma,
-                schedule=schedule,
-                sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
-                num_repeats=profile.eval_repeats,
-            )
-            paper_accuracy, paper_pulses = _paper_reference(method, paper_sigma)
-            result.rows.append(
-                Table1Row(
-                    method=method,
-                    sigma=sigma,
-                    paper_sigma=paper_sigma,
-                    schedule=schedule.as_list(),
-                    average_pulses=schedule.average_pulses,
-                    accuracy=accuracy,
-                    paper_accuracy=paper_accuracy,
-                    paper_average_pulses=paper_pulses,
-                )
-            )
-            LOGGER.info(
-                "table1 sigma=%.2f %s: acc=%.2f%% avg_pulses=%.2f",
-                sigma,
-                method,
-                accuracy,
-                schedule.average_pulses,
-            )
-
-        if not include_gbo:
-            continue
-
-        for method, gamma in (
-            ("GBO-short", profile.gamma_short),
-            ("GBO-long", profile.gamma_long),
-        ):
-            model.set_noise(sigma, relative_to_fan_in=profile.noise_relative_to_fan_in)
-            trainer = GBOTrainer(
-                model,
-                GBOConfig(
-                    space=space,
-                    gamma=gamma,
-                    learning_rate=profile.gbo_lr,
-                    epochs=profile.gbo_epochs,
-                ),
-                engine=gbo_engine,
-            )
-            gbo_result = trainer.train(bundle.gbo_loader)
-            accuracy = noisy_accuracy(
-                model,
-                bundle.test_loader,
-                sigma=sigma,
-                schedule=gbo_result.schedule,
-                sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
-                num_repeats=profile.eval_repeats,
-            )
-            # GBO froze the weights for its logit-only optimisation; undo so
-            # later experiments (e.g. NIA) can fine-tune again.
-            model.requires_grad_(True)
-            paper_accuracy, paper_pulses = _paper_reference(method, paper_sigma)
-            result.rows.append(
-                Table1Row(
-                    method=method,
-                    sigma=sigma,
-                    paper_sigma=paper_sigma,
-                    schedule=gbo_result.schedule.as_list(),
-                    average_pulses=gbo_result.schedule.average_pulses,
-                    accuracy=accuracy,
-                    paper_accuracy=paper_accuracy,
-                    paper_average_pulses=paper_pulses,
-                )
-            )
-            LOGGER.info(
-                "table1 sigma=%.2f %s: acc=%.2f%% schedule=%s",
-                sigma,
-                method,
-                accuracy,
-                gbo_result.schedule.as_list(),
-            )
-
-    return result
+    # Grids are built from the *requested* profile: the bundle cache aliases
+    # profiles differing only in eval-only fields, so bundle.profile may
+    # lack the caller's overrides.
+    profile = profile or bundle.profile
+    grid = table1_grid(
+        profile,
+        sigmas=sigmas,
+        pla_pulse_counts=pla_pulse_counts,
+        include_gbo=include_gbo,
+        engine=engine,
+        gbo_engine=gbo_engine,
+    )
+    outcome = run_grid(grid, workers=workers, store=store, bundle=bundle)
+    return assemble_table1(grid, outcome.results, bundle)

@@ -11,19 +11,30 @@ Methods compared at every noise level (paper Table II):
 The expected shape (paper): NIA alone recovers most of the loss, GBO alone
 helps less than NIA at high noise, and NIA+GBO is the best configuration at
 every noise level.
+
+Expressed as a grid on the scenario runner: one scenario per (method, sigma)
+cell.  The NIA fine-tuning each sigma's three ``NIA*`` cells start from is a
+shared *stage*: it is computed once in its own seeded RNG stream and cached
+(in the result store's stage area, or in memory for one call), so the cells
+stay independent — any of them can run first, in any process — while the
+fine-tuning still happens only once per noise level.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.gbo import GBOConfig, GBOTrainer
 from repro.core.nia import NIAConfig, NIATrainer
 from repro.core.schedule import PulseSchedule
-from repro.core.search_space import PulseScalingSpace
-from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
+from repro.experiments.common import (
+    ExperimentBundle,
+    build_loaders,
+    get_pretrained_bundle,
+    profile_token,
+)
 from repro.experiments.profiles import ExperimentProfile
+from repro.experiments.table1 import _paper_sigma_for, grid_sigma_rank, run_gbo_stage
 from repro.training.evaluate import noisy_accuracy
 from repro.utils.logging import get_logger
 
@@ -106,112 +117,91 @@ def _paper_reference(method: str, paper_sigma: Optional[float]) -> Tuple[Optiona
     return entry
 
 
-def run_table2(
-    profile: Optional[ExperimentProfile] = None,
-    bundle: Optional[ExperimentBundle] = None,
+#: Methods of the paper's Table II, in its row order.
+TABLE2_METHODS = ("Baseline", "GBO", "NIA", "NIA+GBO", "NIA+PLA")
+
+
+# ---------------------------------------------------------------------------
+# Scenario grid
+# ---------------------------------------------------------------------------
+def table2_grid(
+    profile: ExperimentProfile,
     sigmas: Optional[Sequence[float]] = None,
     nia_pla_pulses: int = 10,
     gbo_gamma: Optional[float] = None,
+    engine=None,
     gbo_engine=None,
-) -> Table2Result:
-    """Reproduce Table II on the profile's pre-trained model.
+):
+    """One scenario per Table II cell: (method, sigma)."""
+    from repro.experiments.runner.spec import (
+        ScenarioGrid,
+        ScenarioSpec,
+        engine_token,
+        profile_axes,
+    )
 
-    Every method starts from the same pre-trained weights (restored between
-    methods), mirroring the paper's protocol.
-
-    Parameters
-    ----------
-    gbo_gamma:
-        Latency weight used for the GBO and NIA+GBO rows.  Defaults to a
-        fifth of the profile's ``gamma_long``: after NIA fine-tuning the loss
-        is far less sensitive to the injected noise, so a gamma tuned for the
-        pre-trained model would let the latency term dominate and collapse
-        the schedule to the shortest pulses.  The paper's Table II likewise
-        reports GBO at its accuracy-leaning operating point.
-    gbo_engine:
-        Simulation engine (instance or registry name) for the GBO and
-        NIA+GBO rows; ``None`` keeps the profile's backend.
-    """
-    bundle = bundle or get_pretrained_bundle(profile)
-    profile = bundle.profile
-    model = bundle.model
+    gbo_engine = engine_token(gbo_engine)
+    axes = profile_axes(profile, engine)
     sigmas = list(sigmas if sigmas is not None else profile.sigmas)
-    num_layers = model.num_encoded_layers()
-    space = PulseScalingSpace(base_pulses=profile.base_pulses)
-    pretrained_state = bundle.pretrained_state()
-    gbo_gamma = gbo_gamma if gbo_gamma is not None else profile.gamma_long * 0.2
-
-    result = Table2Result(clean_accuracy=bundle.clean_accuracy)
-
-    def evaluate(schedule: PulseSchedule, sigma: float) -> float:
-        return noisy_accuracy(
-            model,
-            bundle.test_loader,
-            sigma=sigma,
-            schedule=schedule,
-            sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
-            num_repeats=profile.eval_repeats,
-        )
-
-    def run_gbo(sigma: float) -> "PulseSchedule":
-        model.set_noise(sigma, relative_to_fan_in=profile.noise_relative_to_fan_in)
-        trainer = GBOTrainer(
-            model,
-            GBOConfig(
-                space=space,
-                gamma=gbo_gamma,
-                learning_rate=profile.gbo_lr,
-                epochs=profile.gbo_epochs,
-            ),
-            engine=gbo_engine,
-        )
-        gbo_result = trainer.train(bundle.gbo_loader)
-        model.requires_grad_(True)
-        return gbo_result.schedule
-
-    def add_row(method: str, sigma: float, paper_sigma, schedule: PulseSchedule, accuracy: float) -> None:
-        paper_accuracy, paper_pulses = _paper_reference(method, paper_sigma)
-        result.rows.append(
-            Table2Row(
-                method=method,
-                sigma=sigma,
-                paper_sigma=paper_sigma,
-                accuracy=accuracy,
-                average_pulses=schedule.average_pulses,
-                schedule=schedule.as_list(),
-                paper_accuracy=paper_accuracy,
-                paper_average_pulses=paper_pulses,
+    # Default gamma: a fifth of the profile's gamma_long — after NIA
+    # fine-tuning the loss is far less sensitive to the injected noise, so a
+    # gamma tuned for the pre-trained model would let the latency term
+    # dominate and collapse the schedule to the shortest pulses.  The paper's
+    # Table II likewise reports GBO at its accuracy-leaning operating point.
+    gamma = float(gbo_gamma) if gbo_gamma is not None else profile.gamma_long * 0.2
+    specs = []
+    for sigma in sigmas:
+        for method in TABLE2_METHODS:
+            uses_gbo = method in ("GBO", "NIA+GBO")
+            specs.append(
+                ScenarioSpec.create(
+                    experiment="table2",
+                    method=method,
+                    sigma=sigma,
+                    gamma=gamma if uses_gbo else None,
+                    gbo_engine=gbo_engine if uses_gbo else None,
+                    nia_pla_pulses=int(nia_pla_pulses),
+                    **axes,
+                )
             )
-        )
-        LOGGER.info(
-            "table2 sigma=%.2f %s: acc=%.2f%% avg_pulses=%.2f",
-            sigma,
-            method,
-            accuracy,
-            schedule.average_pulses,
-        )
+    return ScenarioGrid(name="table2", specs=tuple(specs))
 
-    baseline_schedule = PulseSchedule.uniform(num_layers, profile.base_pulses)
-    nia_pla_schedule = PulseSchedule.uniform(num_layers, nia_pla_pulses)
 
-    for sigma_index, sigma in enumerate(sigmas):
-        paper_sigma = (
-            profile.paper_sigmas[sigma_index]
-            if sigma_index < len(profile.paper_sigmas)
-            else None
-        )
+def _nia_stage_state(ctx, model) -> Dict[str, Any]:
+    """The NIA-fine-tuned weights for this scenario's noise level (cached).
 
-        # Baseline: pre-trained weights, 8 pulses everywhere.
-        bundle.restore(pretrained_state)
-        add_row("Baseline", sigma, paper_sigma, baseline_schedule, evaluate(baseline_schedule, sigma))
+    The stage runs in its own RNG stream, on its own fresh loaders and from
+    the pre-trained snapshot, so every scenario that needs it computes the
+    identical state regardless of order or process.  The captured state is
+    limited to the pre-trained snapshot's keys so a model carrying leftover
+    ``gbo_logits`` produces the same stage bytes as a fresh one.
+    """
+    profile = ctx.profile
+    sigma = ctx.spec.sigma
+    snapshot_keys = set(ctx.bundle.pretrained_snapshot)
+    # The engine is part of the stage identity AND pinned during training:
+    # the two engines consume the RNG stream differently for noisy reads, so
+    # NIA weights trained under one engine are not the other's — and the
+    # shared model's current pin is whatever the previous scenario left
+    # (worker processes start from the profile default), which must never
+    # leak into the stage.
+    engine = ctx.engine_name()
+    key = {
+        "kind": "nia_state",
+        "profile": profile_token(profile),
+        "sigma": float(sigma),
+        "epochs": profile.nia_epochs,
+        "learning_rate": profile.nia_lr,
+        "pulses": profile.base_pulses,
+        "relative": profile.noise_relative_to_fan_in,
+        "engine": engine,
+    }
 
-        # GBO on the pre-trained weights.
-        bundle.restore(pretrained_state)
-        gbo_schedule = run_gbo(sigma)
-        add_row("GBO", sigma, paper_sigma, gbo_schedule, evaluate(gbo_schedule, sigma))
-
-        # NIA fine-tuning (weights adapt to the injected noise).
-        bundle.restore(pretrained_state)
+    def compute():
+        ctx.bundle.restore_pretrained()
+        model.requires_grad_(True)
+        model.set_engine(engine)
+        train_loader, _, _ = build_loaders(profile)
         nia_config = NIAConfig(
             sigma=sigma,
             epochs=profile.nia_epochs,
@@ -219,18 +209,125 @@ def run_table2(
             pulses=profile.base_pulses,
             sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
         )
-        NIATrainer(model, nia_config).train(bundle.train_loader)
-        nia_state = model.state_dict()
-        add_row("NIA", sigma, paper_sigma, baseline_schedule, evaluate(baseline_schedule, sigma))
+        NIATrainer(model, nia_config).train(train_loader)
+        return {
+            name: value
+            for name, value in model.state_dict().items()
+            if name in snapshot_keys
+        }
 
-        # NIA + GBO: learn the schedule on top of the NIA weights.
-        model.load_state_dict(nia_state)
-        nia_gbo_schedule = run_gbo(sigma)
-        add_row("NIA+GBO", sigma, paper_sigma, nia_gbo_schedule, evaluate(nia_gbo_schedule, sigma))
+    return ctx.stage_state(key, compute)
 
-        # NIA + PLA: NIA weights with a uniform longer schedule.
-        model.load_state_dict(nia_state)
-        add_row("NIA+PLA", sigma, paper_sigma, nia_pla_schedule, evaluate(nia_pla_schedule, sigma))
 
-    bundle.restore(pretrained_state)
+def execute_table2_scenario(ctx) -> Dict[str, Any]:
+    """One Table II cell: (starting weights, schedule source) per method."""
+    spec = ctx.spec
+    profile = ctx.profile
+    nia_state = _nia_stage_state(ctx, ctx.bundle.model) if "NIA" in spec.method else None
+
+    model = ctx.model()
+    if nia_state is not None:
+        model.load_state_dict(nia_state, strict=False)
+
+    num_layers = model.num_encoded_layers()
+    if spec.method in ("GBO", "NIA+GBO"):
+        schedule = run_gbo_stage(ctx, model, spec.gamma, gbo_engine=spec.param("gbo_engine"))
+    elif spec.method == "NIA+PLA":
+        schedule = PulseSchedule.uniform(num_layers, int(spec.param("nia_pla_pulses", 10)))
+    else:  # Baseline / NIA: the 8-pulse baseline encoding
+        schedule = PulseSchedule.uniform(num_layers, profile.base_pulses)
+
+    accuracy = noisy_accuracy(
+        model,
+        ctx.test_loader,
+        sigma=spec.sigma,
+        schedule=schedule,
+        sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+        num_repeats=profile.eval_repeats,
+    )
+    LOGGER.info(
+        "table2 sigma=%.2f %s: acc=%.2f%% avg_pulses=%.2f",
+        spec.sigma,
+        spec.method,
+        accuracy,
+        schedule.average_pulses,
+    )
+    return {
+        "schedule": schedule.as_list(),
+        "average_pulses": schedule.average_pulses,
+        "accuracy": accuracy,
+    }
+
+
+def assemble_table2(
+    grid, results: Mapping[str, Mapping[str, Any]], bundle: ExperimentBundle
+) -> Table2Result:
+    """Fold per-cell scenario results back into the paper's table layout."""
+    from repro.experiments.runner.spec import grid_profile
+
+    result = Table2Result(clean_accuracy=bundle.clean_accuracy)
+    profile = grid_profile(grid, fallback=bundle)
+    for spec in grid:
+        row = results[spec.hash]
+        paper_sigma = _paper_sigma_for(profile, grid_sigma_rank(grid, spec))
+        paper_accuracy, paper_pulses = _paper_reference(spec.method, paper_sigma)
+        result.rows.append(
+            Table2Row(
+                method=spec.method,
+                sigma=spec.sigma,
+                paper_sigma=paper_sigma,
+                accuracy=row["accuracy"],
+                average_pulses=row["average_pulses"],
+                schedule=[int(p) for p in row["schedule"]],
+                paper_accuracy=paper_accuracy,
+                paper_average_pulses=paper_pulses,
+            )
+        )
     return result
+
+
+def run_table2(
+    profile: Optional[ExperimentProfile] = None,
+    bundle: Optional[ExperimentBundle] = None,
+    sigmas: Optional[Sequence[float]] = None,
+    nia_pla_pulses: int = 10,
+    gbo_gamma: Optional[float] = None,
+    gbo_engine=None,
+    engine=None,
+    workers: int = 0,
+    store=None,
+) -> Table2Result:
+    """Reproduce Table II on the profile's pre-trained model.
+
+    Every method starts from the same pre-trained weights (each scenario
+    restores the snapshot), mirroring the paper's protocol.
+
+    Parameters
+    ----------
+    gbo_gamma:
+        Latency weight used for the GBO and NIA+GBO rows.  Defaults to a
+        fifth of the profile's ``gamma_long`` (see :func:`table2_grid`).
+    gbo_engine:
+        Simulation engine (registry name) for the GBO training stage of the
+        GBO and NIA+GBO rows; ``None`` keeps the scenario's engine.
+    engine:
+        Simulation engine (registry name) pinned on everything each scenario
+        runs; ``None`` keeps the profile's backend.
+    workers / store:
+        Scenario-runner execution controls (see
+        :func:`repro.experiments.runner.run_grid`).
+    """
+    from repro.experiments.runner.executor import run_grid
+
+    bundle = bundle or get_pretrained_bundle(profile)
+    profile = profile or bundle.profile
+    grid = table2_grid(
+        profile,
+        sigmas=sigmas,
+        nia_pla_pulses=nia_pla_pulses,
+        gbo_gamma=gbo_gamma,
+        engine=engine,
+        gbo_engine=gbo_engine,
+    )
+    outcome = run_grid(grid, workers=workers, store=store, bundle=bundle)
+    return assemble_table2(grid, outcome.results, bundle)

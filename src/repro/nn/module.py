@@ -54,8 +54,15 @@ class Module:
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
-        """Register a non-trainable persistent array (e.g. BN running stats)."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        """Register a non-trainable persistent array (e.g. BN running stats).
+
+        The value is copied: the module owns its buffer storage, so callers
+        (and saved state dicts) can never alias it.  Without the copy, a
+        buffer loaded via :meth:`load_state_dict` would share memory with
+        the caller's state mapping, and in-place updates (BN running stats
+        during training) would silently corrupt that "saved" state.
+        """
+        self._buffers[name] = np.array(value, dtype=np.float64, copy=True)
         object.__setattr__(self, name, self._buffers[name])
 
     def register_parameter(self, name: str, param: Parameter) -> None:
@@ -69,8 +76,8 @@ class Module:
         object.__setattr__(self, name, module)
 
     def _update_buffer(self, name: str, value: np.ndarray) -> None:
-        """Replace the contents of a registered buffer."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        """Replace the contents of a registered buffer (copying, see above)."""
+        self._buffers[name] = np.array(value, dtype=np.float64, copy=True)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------
@@ -191,7 +198,14 @@ class Module:
                     module._update_buffer(buffer_name, state[qualified])
                 else:
                     missing.append(qualified)
-        unexpected = [k for k in state if k not in self.state_dict()]
+        # Membership is checked against the *names*, not a rebuilt
+        # state_dict(): the restore path runs before every runner scenario,
+        # and state_dict() deep-copies every array.
+        own_names = set(own_params)
+        for module_name, module in self.named_modules():
+            for buffer_name in module._buffers:
+                own_names.add(f"{module_name}.{buffer_name}" if module_name else buffer_name)
+        unexpected = [k for k in state if k not in own_names]
         if strict and (missing or unexpected):
             raise KeyError(
                 f"load_state_dict mismatch; missing={missing}, unexpected={unexpected}"

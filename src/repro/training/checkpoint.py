@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.utils.serialization import load_state, save_state
+from repro.utils.serialization import load_metadata, load_state, save_metadata, save_state
 
 
 def save_checkpoint(path: str, model, metadata: Optional[Dict[str, Any]] = None) -> None:
@@ -12,7 +12,36 @@ def save_checkpoint(path: str, model, metadata: Optional[Dict[str, Any]] = None)
     save_state(path, model.state_dict(), metadata=metadata)
 
 
-def load_checkpoint(path: str, model, strict: bool = True) -> None:
-    """Restore a model's parameters and buffers from a saved checkpoint."""
+def load_checkpoint(path: str, model, strict: bool = True) -> Optional[Dict[str, Any]]:
+    """Restore a model's parameters and buffers from a saved checkpoint.
+
+    Returns the checkpoint's JSON metadata (``None`` when the checkpoint was
+    saved without any).  The experiment layer stores the model's clean
+    accuracy there so resumed runs skip the evaluation pass.  A damaged
+    metadata sidecar only loses the metadata — it must never invalidate the
+    (independently stored, successfully loaded) weights.
+    """
+    import json
+
     state = load_state(path)
     model.load_state_dict(state, strict=strict)
+    try:
+        return load_metadata(path)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def update_checkpoint_metadata(path: str, metadata: Dict[str, Any]) -> None:
+    """Merge ``metadata`` into an existing checkpoint's JSON sidecar.
+
+    A corrupt existing sidecar is replaced rather than propagated as an
+    error — the same damaged-sidecar tolerance :func:`load_checkpoint` has.
+    """
+    import json
+
+    try:
+        merged = load_metadata(path) or {}
+    except (OSError, json.JSONDecodeError):
+        merged = {}
+    merged.update(metadata)
+    save_metadata(path, merged)

@@ -4,9 +4,32 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Any, Dict, Mapping
 
 import numpy as np
+
+
+def atomic_write(path: str, write_fn, suffix: str = ".tmp") -> None:
+    """Write a file atomically: ``write_fn(temp_path)`` then ``os.replace``.
+
+    The single home of the crash-safety pattern used for every file that is
+    later read on a hot path (checkpoint metadata, scenario results, stage
+    states): a killed process can never leave a truncated file at ``path``,
+    only an orphaned temp file that the ``except`` clause removes when the
+    failure is a clean exception.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=suffix)
+    os.close(fd)
+    try:
+        write_fn(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def save_state(path: str, arrays: Mapping[str, np.ndarray], metadata: Dict[str, Any] | None = None) -> None:
@@ -19,8 +42,7 @@ def save_state(path: str, arrays: Mapping[str, np.ndarray], metadata: Dict[str, 
     os.makedirs(directory, exist_ok=True)
     np.savez(path, **{key: np.asarray(value) for key, value in arrays.items()})
     if metadata is not None:
-        with open(path + ".meta.json", "w", encoding="utf-8") as handle:
-            json.dump(metadata, handle, indent=2, sort_keys=True)
+        save_metadata(path, metadata)
 
 
 def load_state(path: str) -> Dict[str, np.ndarray]:
@@ -29,3 +51,35 @@ def load_state(path: str) -> Dict[str, np.ndarray]:
         path = path + ".npz"
     with np.load(path) as payload:
         return {key: payload[key].copy() for key in payload.files}
+
+
+def load_metadata(path: str) -> Dict[str, Any] | None:
+    """Load the JSON metadata written next to a state file, if any.
+
+    Returns ``None`` when the state was saved without metadata (or the
+    sidecar file was deleted).
+    """
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    meta_path = path + ".meta.json"
+    if not os.path.exists(meta_path):
+        return None
+    with open(meta_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_metadata(path: str, metadata: Dict[str, Any]) -> None:
+    """(Re)write the JSON metadata sidecar of an existing state file.
+
+    Written atomically (temp file + rename): the sidecar is read on the
+    checkpoint-load path, so a crash mid-write must never leave a truncated
+    JSON file behind.
+    """
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+
+    def write(tmp: str) -> None:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(metadata, handle, indent=2, sort_keys=True)
+
+    atomic_write(path + ".meta.json", write)
