@@ -46,9 +46,10 @@ def test_ablation_gamma_tradeoff(benchmark, bundle, gamma_rows, capsys, results_
     # Benchmark kernel: a single GBO optimisation epoch on the GBO subset.
     from repro.core.gbo import GBOConfig, GBOTrainer
     from repro.core.search_space import PulseScalingSpace
+    from repro.sim import SimConfig, apply_config
 
     def one_gbo_epoch():
-        bundle.model.set_noise(profile.sigmas[1])
+        apply_config(bundle.model, SimConfig(noise_sigma=profile.sigmas[1]))
         trainer = GBOTrainer(
             bundle.model,
             GBOConfig(space=PulseScalingSpace(), gamma=profile.gamma_short,

@@ -15,6 +15,7 @@ from benchmarks.conftest import emit_report
 from repro.core.pla import pla_approximation_error
 from repro.experiments.ablations import run_pla_error_ablation
 from repro.tensor import Tensor, no_grad
+from repro.sim import SimConfig, apply_config
 
 
 @pytest.fixture(scope="module")
@@ -25,7 +26,7 @@ def pla_rows():
 def _collect_real_activations(bundle, max_batches: int = 2) -> np.ndarray:
     """Capture the quantised input of the deepest encoded layer on real data."""
     model = bundle.model
-    model.set_mode("clean")
+    apply_config(model, SimConfig(mode="clean"))
     captured = []
     layer = model.encoded_layers()[-1]
     original_forward = layer.forward

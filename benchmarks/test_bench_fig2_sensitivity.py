@@ -12,6 +12,7 @@ import pytest
 from benchmarks.conftest import emit_report
 from repro.experiments import run_fig2
 from repro.training import evaluate_accuracy
+from repro.sim import SimConfig, apply_config
 
 
 @pytest.fixture(scope="module")
@@ -39,7 +40,7 @@ def _format_report(result, profile) -> str:
 def test_fig2_layer_sensitivity(benchmark, bundle, fig2_result, capsys, results_dir):
     # Benchmark one clean evaluation pass over the test set (the repeated
     # kernel of the sensitivity sweep).
-    bundle.model.set_mode("clean")
+    apply_config(bundle.model, SimConfig(mode="clean"))
     benchmark.pedantic(
         lambda: evaluate_accuracy(bundle.model, bundle.test_loader), rounds=2, iterations=1
     )

@@ -40,6 +40,7 @@ from repro.core.search_space import PulseScalingSpace
 from repro.data import DataLoader, SyntheticImageConfig, SyntheticImageDataset
 from repro.experiments.common import build_model
 from repro.experiments.profiles import get_profile
+from repro.sim import SimConfig, apply_config
 from repro.tensor.random import RandomState
 from repro.utils.seed import seed_everything
 
@@ -68,7 +69,13 @@ def _run_gbo_once(profile, engine_name) -> float:
     """Wall-clock seconds for ``NUM_BATCHES`` GBO steps on a fresh model."""
     seed_everything(profile.seed)
     model = build_model(profile)
-    model.set_noise(profile.sigmas[0], relative_to_fan_in=profile.noise_relative_to_fan_in)
+    apply_config(
+        model,
+        SimConfig(
+            noise_sigma=profile.sigmas[0],
+            sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+        ),
+    )
     loader = _gbo_loader(profile)
     trainer = GBOTrainer(
         model,
@@ -78,7 +85,7 @@ def _run_gbo_once(profile, engine_name) -> float:
             learning_rate=profile.gbo_lr,
             epochs=1,
         ),
-        engine=engine_name,
+        sim=SimConfig(engine=engine_name),
     )
     start = time.perf_counter()
     result = trainer.train(loader)

@@ -14,6 +14,7 @@ of the pulse encoding.  This example makes that trade-off tangible:
 Run with:  python examples/cost_and_heuristic.py
 """
 
+from repro.sim import SimConfig, apply_config
 from repro.core import (
     GBOConfig,
     GBOTrainer,
@@ -55,7 +56,7 @@ def main() -> None:
     )
     schedules["heuristic"] = heuristic.schedule
 
-    model.set_noise(sigma)
+    apply_config(model, SimConfig(noise_sigma=sigma))
     gbo = GBOTrainer(
         model, GBOConfig(space=space, gamma=5e-4, learning_rate=5e-2, epochs=4)
     ).train(train_loader)

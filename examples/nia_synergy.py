@@ -12,6 +12,7 @@ Run with:  python examples/nia_synergy.py
 
 from repro.core import GBOConfig, GBOTrainer, NIAConfig, NIATrainer, PulseScalingSpace, PulseSchedule
 from repro.data import DataLoader, SyntheticImageConfig, make_synthetic_cifar
+from repro.sim import SimConfig, apply_config
 from repro.models import CrossbarMLP
 from repro.tensor.random import RandomState
 from repro.training import PretrainConfig, evaluate_accuracy, noisy_accuracy, pretrain_model
@@ -20,7 +21,7 @@ from repro.utils.seed import seed_everything
 
 def run_gbo(model, loader, sigma: float) -> "PulseSchedule":
     """Train the per-layer encoding logits and return the selected schedule."""
-    model.set_noise(sigma)
+    apply_config(model, SimConfig(noise_sigma=sigma))
     trainer = GBOTrainer(
         model, GBOConfig(space=PulseScalingSpace(), gamma=2e-4, learning_rate=5e-2, epochs=5)
     )

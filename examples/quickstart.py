@@ -1,57 +1,73 @@
 """Quickstart: the paper's pipeline end to end, on the smoke profile.
 
-Walks the reproduction the same way the benchmark harness does — through
-the experiment registry and the scenario runner — but at the ``smoke``
-scale (a tiny crossbar MLP on 8x8 synthetic images), so the whole thing
-finishes in well under a minute on a laptop:
+Two views of the same reproduction, both finishing in well under a minute:
 
-1. pre-train the binary-weight network (cached under ``.repro_cache/``);
-2. reproduce Fig. 1(b): why thermometer coding beats bit slicing;
-3. reproduce Table I: the 8-pulse baseline, uniform PLA schedules and two
-   GBO runs that learn a heterogeneous per-layer pulse schedule.
+1. **The facade** (``repro.api``): the pipeline as five composable stages —
+   ``pretrain -> calibrate_pla -> run_gbo -> run_nia -> evaluate`` — where
+   every piece of simulation state (engine, forward mode, pulses, noise,
+   PLA rounding, seed policy) travels as one immutable, content-hashable
+   :class:`repro.SimConfig`.  No stage mutates hidden layer state: configs
+   are applied atomically in a ``Session`` and restored afterwards.
 
-Every step iterates the registry (`EXPERIMENTS` / `run_experiment`), so
-this example always runs exactly the scenarios the benchmarks run, just
-smaller.  Each (method, noise level) cell is one independent scenario: add
-``--workers 2`` to shard them across processes, or re-run the script to see
-the result store make it instant.
+2. **The registry + scenario runner**: the same experiments as declarative
+   grids of content-addressed scenarios — cached, resumable, and shardable
+   across processes (``--workers N``), exactly what the benchmarks run.
 
 Run with:  python examples/quickstart.py [--workers N]
 """
 
 import argparse
 
-from repro.experiments import EXPERIMENTS, get_profile, get_pretrained_bundle, run_experiment
+import repro
+from repro import SimConfig
+from repro.experiments import EXPERIMENTS, get_profile, run_experiment
 from repro.experiments.registry import format_result
 from repro.experiments.runner.store import default_store
 from repro.utils.seed import seed_everything
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workers", "-w", type=int, default=0)
-    args = parser.parse_args()
+def facade_walkthrough(profile) -> None:
+    """The paper's pipeline through the repro.api facade."""
+    state = repro.pretrain(profile)
+    print(f"clean accuracy: {state.clean_accuracy:.2f}%")
 
-    profile = get_profile("smoke")
-    seed_everything(profile.seed)
+    # One immutable config describes the deployment condition; its content
+    # hash is its identity (stores, seeds and scenario specs key on it).
+    noisy = SimConfig.for_profile(
+        profile, mode="noisy", noise_sigma=profile.sigmas[1], pulses=profile.base_pulses
+    )
+    print(f"deployment config {noisy.hash}: sigma={noisy.noise_sigma:g}, "
+          f"{noisy.pulses} pulses on the {noisy.engine!r} engine")
+
+    # PLA calibration: the representation error GBO's objective cannot see.
+    calibration = repro.calibrate_pla(state, pulse_counts=(4, 6, 8, 10, 12, 14, 16))
+    print("\nPLA representation error per layer and pulse count:")
+    print(calibration.format_table())
+
+    baseline = repro.evaluate(state, noisy, num_repeats=2)
+    gbo = repro.run_gbo(state, noisy, gamma=profile.gamma_short)
+    tuned = repro.evaluate(state, noisy.with_changes(pulses=gbo.schedule), num_repeats=2)
+    print(f"\n8-pulse baseline:  {baseline.accuracy:6.2f}%")
+    print(f"GBO schedule {list(gbo.schedule)} (avg {gbo.average_pulses:.2f} pulses, "
+          f"selection PLA error {[round(e, 3) for e in gbo.pla_errors]}): {tuned.accuracy:6.2f}%")
+
+    nia = repro.run_nia(state, noisy)
+    nia_eval = repro.evaluate(state, noisy, weights=nia.weights, num_repeats=2)
+    synergy = repro.run_gbo(state, noisy, gamma=profile.gamma_short, weights=nia.weights)
+    synergy_eval = repro.evaluate(
+        state, noisy.with_changes(pulses=synergy.schedule), weights=nia.weights, num_repeats=2
+    )
+    print(f"NIA fine-tuned:    {nia_eval.accuracy:6.2f}%")
+    print(f"NIA + GBO:         {synergy_eval.accuracy:6.2f}%\n")
+
+
+def registry_walkthrough(profile, workers: int) -> None:
+    """The same experiments as cached, shardable scenario grids."""
     store = default_store()
-
-    # ------------------------------------------------------------- pre-train
-    print("pre-training the binary-weight network (clean, no crossbar noise)...")
-    bundle = get_pretrained_bundle(profile)
-    print(f"model: {bundle.model}")
-    print(f"encoded (crossbar-mapped) layers: {bundle.model.encoded_layer_names()}")
-    print(f"clean accuracy: {bundle.clean_accuracy:.2f}%\n")
-
-    # ------------------------------------------- registry-driven experiments
     for identifier in ("fig1b", "table1"):
         spec = EXPERIMENTS[identifier]
         result, outcome = run_experiment(
-            identifier,
-            profile=profile,
-            bundle=bundle if spec.needs_bundle else None,
-            workers=args.workers,
-            store=store,
+            identifier, profile=profile, workers=workers, store=store
         )
         print("=" * 72)
         print(f"{spec.paper_reference} — {spec.description}")
@@ -61,8 +77,24 @@ def main() -> None:
         print(format_result(spec, result))
         print()
 
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", "-w", type=int, default=0)
+    args = parser.parse_args()
+
+    profile = get_profile("smoke")
+    seed_everything(profile.seed)
+
+    print("--- the facade: pretrain -> calibrate_pla -> run_gbo -> run_nia -> evaluate ---")
+    facade_walkthrough(profile)
+
+    print("--- the registry: the same pipeline as cached scenario grids ---")
+    registry_walkthrough(profile, args.workers)
+
     print("next: python examples/vgg9_paper_workflow.py  (the full VGG9 suite)")
     print("      python -m repro.experiments run all --workers 4  (CLI, resumable)")
+    print("      python -m repro.experiments gc --dry-run  (prune stale results)")
 
 
 if __name__ == "__main__":

@@ -18,7 +18,9 @@ Run with:  python examples/vgg9_paper_workflow.py [profile] [--workers N]
 
 import argparse
 
-from repro.experiments import EXPERIMENTS, get_profile, get_pretrained_bundle, run_experiment
+import repro
+from repro import SimConfig
+from repro.experiments import EXPERIMENTS, get_profile, run_experiment
 from repro.experiments.registry import format_result
 from repro.experiments.runner.store import default_store
 from repro.utils.seed import seed_everything
@@ -34,14 +36,19 @@ def main() -> None:
     seed_everything(profile.seed)
     store = default_store()
 
+    # The suite's simulation state as one immutable value: the engine pin
+    # resolved through the one precedence rule, hashed into every scenario.
+    base_sim = SimConfig.for_profile(profile)
     print(f"profile: {profile.name} (model={profile.model}, "
           f"width x{profile.width_multiplier}, image {profile.image_size}x{profile.image_size})")
+    print(f"sim config {base_sim.hash}: engine={base_sim.engine!r}")
     print(f"noise sweep: ours sigma={list(profile.sigmas)}  ~  paper sigma={list(profile.paper_sigmas)}")
     print(f"result store: {store.root}\n")
 
     # Shared pre-trained model (cached on disk; scenario workers reload it).
-    bundle = get_pretrained_bundle(profile)
-    print(f"clean accuracy: {bundle.clean_accuracy:.2f}% (paper: 90.80% on CIFAR-10)\n")
+    state = repro.pretrain(profile, sim=base_sim)
+    bundle = state.bundle
+    print(f"clean accuracy: {state.clean_accuracy:.2f}% (paper: 90.80% on CIFAR-10)\n")
 
     for identifier, spec in EXPERIMENTS.items():
         result, outcome = run_experiment(

@@ -12,25 +12,71 @@ The package is organised bottom-up:
 * :mod:`repro.backend` — pluggable simulation engines executing the noisy
   pulse-train reads: a loop-per-pulse/loop-per-tile ``ReferenceEngine``
   (validation oracle) and the default ``VectorizedEngine`` which batches
-  pulses x tiles x batch into a few matmuls with one batched noise draw
-  (select via ``REPRO_BACKEND``, a profile's ``backend`` field, or
-  ``layer.set_engine``);
+  pulses x tiles x batch into a few matmuls with one batched noise draw;
+* :mod:`repro.sim` — simulation state as an immutable value: the frozen,
+  content-hashable :class:`~repro.sim.SimConfig` (engine, forward mode,
+  pulses, noise, PLA rounding, seed policy), applied atomically and
+  reversibly through :class:`~repro.sim.Session` / ``configure``, with one
+  documented engine-resolution precedence rule;
 * :mod:`repro.core` — the paper's contribution: PLA, encoded crossbar
   layers, GBO and the NIA baseline;
 * :mod:`repro.models`, :mod:`repro.training`, :mod:`repro.experiments` —
   the VGG9 evaluation network, training recipes and the per-table/figure
-  experiment drivers.
+  experiment drivers on the scenario runner;
+* :mod:`repro.api` — the pipeline as a composable facade: ``pretrain``,
+  ``calibrate_pla``, ``run_gbo``, ``run_nia``, ``evaluate``, each taking
+  ``(state, SimConfig)`` and returning artifacts.
 
 Quick start::
 
-    from repro.data import make_synthetic_cifar, DataLoader
-    from repro.models import CrossbarMLP
-    from repro.training import pretrain_model, PretrainConfig, noisy_accuracy
-    from repro.core import GBOTrainer, GBOConfig
+    import repro
+    from repro import SimConfig
+
+    state = repro.pretrain("smoke")           # cached per profile
+    noisy = SimConfig.for_profile(state.profile, mode="noisy",
+                                  noise_sigma=6.0, pulses=8)
+
+    print(repro.calibrate_pla(state).format_table())   # PLA error sweep
+    baseline = repro.evaluate(state, noisy)            # 8-pulse baseline
+    gbo = repro.run_gbo(state, noisy, gamma=1e-3)      # learn the schedule
+    tuned = repro.evaluate(state, noisy.with_changes(pulses=gbo.schedule))
+    print(baseline.accuracy, "->", tuned.accuracy)
 
 See ``examples/quickstart.py`` for a complete runnable walk-through.
 """
 
+from repro.sim import SimConfig, Session, apply_config, configure, resolve_engine_name
 from repro.version import __version__
 
-__all__ = ["__version__"]
+#: Facade names resolved lazily from :mod:`repro.api` (PEP 562), so that
+#: ``import repro`` stays lightweight for consumers of the low-level layers.
+_API_EXPORTS = (
+    "PipelineState",
+    "EvaluationResult",
+    "GBOArtifact",
+    "NIAArtifact",
+    "PLACalibration",
+    "pretrain",
+    "calibrate_pla",
+    "run_gbo",
+    "run_nia",
+    "evaluate",
+)
+
+__all__ = [
+    "__version__",
+    "SimConfig",
+    "Session",
+    "apply_config",
+    "configure",
+    "resolve_engine_name",
+    *_API_EXPORTS,
+]
+
+
+def __getattr__(name):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -19,10 +19,12 @@ encoding space Omega either as one literal crossbar read per candidate
 (reference) or as a single batched read plus one stacked noise draw
 (vectorized).
 
-Engine selection: pass an engine (or its name) explicitly to
-:func:`repro.crossbar.mvm.pulsed_mvm` or a layer's ``set_engine``, set the
-``REPRO_BACKEND`` environment variable (``"vectorized"`` / ``"reference"``),
-or install a process-wide default with :func:`set_default_engine`.
+Engine selection: pin an engine in a :class:`repro.sim.SimConfig` (or pass
+one explicitly to :func:`repro.crossbar.mvm.pulsed_mvm`).  Resolution
+follows the one precedence rule of :func:`repro.sim.resolve_engine_name`:
+explicit pin, then the deprecated ``REPRO_BACKEND`` environment variable,
+then a profile's ``backend`` field, then the process-wide default installed
+with :func:`set_default_engine` (ultimately ``"vectorized"``).
 """
 
 from repro.backend.engine import (

@@ -47,6 +47,7 @@ from repro.tensor import Tensor
 from repro.tensor import functional as F
 from repro.tensor.functional import softmax
 from repro.tensor.random import RandomState, default_rng
+from repro.utils.deprecation import warn_deprecated
 
 ForwardMode = Literal["clean", "noisy", "gbo"]
 
@@ -98,27 +99,59 @@ class EncodedLayerMixin:
             return self.noise_sigma * float(np.sqrt(max(self.fan_in, 1)))
         return self.noise_sigma
 
-    def set_mode(self, mode: ForwardMode) -> None:
-        """Switch between ``clean``, ``noisy`` and ``gbo`` forward behaviour."""
+    # -- internal appliers: the only code that mutates simulation state.
+    # ``repro.sim`` (Session / apply_config) and the trainers go through
+    # these; the public ``set_*`` methods below are deprecated shims.
+    def _apply_mode(self, mode: ForwardMode) -> None:
         if mode not in ("clean", "noisy", "gbo"):
             raise ValueError(f"unknown forward mode {mode!r}")
         if mode == "gbo" and self.gbo_logits is None:
             raise ValueError("enable_gbo() must be called before entering gbo mode")
         self.mode = mode
 
-    def set_pulses(self, num_pulses: int) -> None:
-        """Set the inference pulse count (PLA re-encoding + noise averaging)."""
+    def _apply_pulses(self, num_pulses: int) -> None:
         if num_pulses < 1:
             raise ValueError(f"num_pulses must be positive, got {num_pulses}")
         self.num_pulses = int(num_pulses)
 
-    def set_noise(self, sigma: float, relative_to_fan_in: Optional[bool] = None) -> None:
-        """Set the per-pulse crossbar noise level."""
+    def _apply_noise(self, sigma: float, relative_to_fan_in: Optional[bool] = None) -> None:
         if sigma < 0:
             raise ValueError(f"sigma must be non-negative, got {sigma}")
         self.noise_sigma = float(sigma)
         if relative_to_fan_in is not None:
-            self.sigma_relative_to_fan_in = relative_to_fan_in
+            self.sigma_relative_to_fan_in = bool(relative_to_fan_in)
+
+    def _apply_pla_mode(self, pla_mode: RoundingMode) -> None:
+        if pla_mode not in ("toward_extremes", "nearest"):
+            raise ValueError(f"unknown PLA rounding mode {pla_mode!r}")
+        self.pla_mode = pla_mode
+
+    def _apply_engine(self, engine: EngineLike) -> None:
+        self._engine = None if engine is None else resolve_engine(engine)
+
+    def set_mode(self, mode: ForwardMode) -> None:
+        """Deprecated: use ``repro.sim.configure(layer, SimConfig(mode=...))``."""
+        warn_deprecated(
+            "layer.set_mode() is deprecated; apply an immutable "
+            "repro.sim.SimConfig via repro.sim.configure()/apply_config()"
+        )
+        self._apply_mode(mode)
+
+    def set_pulses(self, num_pulses: int) -> None:
+        """Deprecated: use ``repro.sim.configure(layer, SimConfig(pulses=...))``."""
+        warn_deprecated(
+            "layer.set_pulses() is deprecated; apply an immutable "
+            "repro.sim.SimConfig via repro.sim.configure()/apply_config()"
+        )
+        self._apply_pulses(num_pulses)
+
+    def set_noise(self, sigma: float, relative_to_fan_in: Optional[bool] = None) -> None:
+        """Deprecated: use ``repro.sim.configure(layer, SimConfig(noise_sigma=...))``."""
+        warn_deprecated(
+            "layer.set_noise() is deprecated; apply an immutable "
+            "repro.sim.SimConfig via repro.sim.configure()/apply_config()"
+        )
+        self._apply_noise(sigma, relative_to_fan_in)
 
     @property
     def engine(self) -> SimulationEngine:
@@ -131,11 +164,15 @@ class EncodedLayerMixin:
         return self._engine if self._engine is not None else resolve_engine(None)
 
     def set_engine(self, engine: EngineLike) -> None:
-        """Pin a simulation engine (instance or registry name) on this layer.
+        """Deprecated: pin the engine via ``SimConfig(engine=...)`` instead.
 
         Pass ``None`` to track the process-wide default again.
         """
-        self._engine = None if engine is None else resolve_engine(engine)
+        warn_deprecated(
+            "layer.set_engine() is deprecated; pin an engine via "
+            "repro.sim.SimConfig(engine=...) and configure()/apply_config()"
+        )
+        self._apply_engine(engine)
 
     # ------------------------------------------------------------------
     # GBO support (Eq. 5)

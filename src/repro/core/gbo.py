@@ -24,11 +24,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.encoder_layer import EncodedLayerMixin
+from repro.core.pla import activation_grid_error
 from repro.core.schedule import PulseSchedule
 from repro.core.search_space import PulseScalingSpace
 from repro.optim import Adam
+from repro.sim import SimConfig
 from repro.tensor import Tensor
 from repro.tensor import functional as F
+from repro.utils.deprecation import warn_deprecated
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("repro.gbo")
@@ -88,12 +91,18 @@ class GBOResult:
         Final softmax importance weights of each layer.
     history:
         Per-step record of the loss terms.
+    pla_errors:
+        Per-layer PLA representation error of the *selected* pulse count
+        (mean absolute re-encoding error over the layer's activation grid).
+        The Eq. 5 objective mixes candidate noise only, so GBO is blind to
+        this error — it is measured and surfaced here at selection time.
     """
 
     schedule: PulseSchedule
     logits: List[np.ndarray]
     alphas: List[np.ndarray]
     history: List[Dict[str, float]]
+    pla_errors: List[float] = field(default_factory=list)
 
     @property
     def average_pulses(self) -> float:
@@ -112,18 +121,43 @@ class GBOTrainer:
     config:
         GBO hyper-parameters.
     engine:
-        Simulation engine (instance or registry name) pinned on every encoded
-        layer for the duration of training; each GBO forward evaluates the
-        Eq. 5 candidate mixture through
+        Deprecated: pass ``sim=SimConfig(engine=...)`` instead.
+    sim:
+        Simulation config whose ``engine`` is pinned on every encoded layer
+        for the duration of training; each GBO forward evaluates the Eq. 5
+        candidate mixture through
         :meth:`~repro.backend.engine.SimulationEngine.gbo_mixture_read` of
-        this engine.  ``None`` keeps whatever engine each layer already uses
-        (ultimately the process-wide default).
+        that engine.  ``sim=None`` (or ``sim.engine is None``) keeps
+        whatever engine each layer already uses (ultimately the process-wide
+        default).  Noise/pulse state is taken from the model's current
+        configuration — apply a config via :func:`repro.sim.apply_config`
+        (or use the :mod:`repro.api` facade) beforehand.
     """
 
-    def __init__(self, model, config: Optional[GBOConfig] = None, engine=None):
+    def __init__(
+        self,
+        model,
+        config: Optional[GBOConfig] = None,
+        engine=None,
+        sim: Optional[SimConfig] = None,
+    ):
         self.model = model
         self.config = config or GBOConfig()
-        self.engine = engine
+        if engine is not None:
+            warn_deprecated(
+                "GBOTrainer(engine=...) is deprecated; pass "
+                "sim=SimConfig(engine=...) instead"
+            )
+            if sim is not None and sim.engine is not None:
+                raise ValueError("pass either engine= or sim=, not both")
+            # Keep the pin as passed: an engine *instance* need not be in
+            # the registry (tests pin ad-hoc engines), so it must not be
+            # round-tripped through a name lookup.
+            self.engine = engine
+            self.sim = sim
+        else:
+            self.sim = sim
+            self.engine = sim.engine if sim is not None else None
         self._layers: List[EncodedLayerMixin] = list(model.encoded_layers())
         if not self._layers:
             raise ValueError("model has no encoded layers to optimise")
@@ -145,7 +179,7 @@ class GBOTrainer:
         self.model.freeze()
         logits = [layer.enable_gbo(config.space) for layer in self._layers]
         for layer in self._layers:
-            layer.set_mode("gbo")
+            layer._apply_mode("gbo")
 
         # Pin the requested engine for the duration of training only; the
         # layers' previous pins (possibly "track the process default") are
@@ -154,7 +188,7 @@ class GBOTrainer:
         if self.engine is not None:
             previous_engines = [layer._engine for layer in self._layers]
             for layer in self._layers:
-                layer.set_engine(self.engine)
+                layer._apply_engine(self.engine)
 
         optimizer = Adam(logits, lr=config.learning_rate)
         history: List[Dict[str, float]] = []
@@ -190,8 +224,8 @@ class GBOTrainer:
             if previous_engines is not None:
                 for layer, previous in zip(self._layers, previous_engines):
                     # previous is either a pinned engine instance or None
-                    # (track the process default) — set_engine handles both.
-                    layer.set_engine(previous)
+                    # (track the process default) — _apply_engine handles both.
+                    layer._apply_engine(previous)
         result = self._finalise(history)
         self._apply_schedule(result.schedule)
         return result
@@ -208,13 +242,46 @@ class GBOTrainer:
         logits = [np.array(layer.gbo_logits.data, copy=True) for layer in self._layers]
         alphas = [np.array(layer.gbo_alphas().data, copy=True) for layer in self._layers]
         schedule = PulseSchedule([layer.gbo_selected_pulses() for layer in self._layers])
-        return GBOResult(schedule=schedule, logits=logits, alphas=alphas, history=history)
+        pla_errors = self._selection_pla_errors(schedule)
+        return GBOResult(
+            schedule=schedule,
+            logits=logits,
+            alphas=alphas,
+            history=history,
+            pla_errors=pla_errors,
+        )
+
+    def _selection_pla_errors(self, schedule: PulseSchedule) -> List[float]:
+        """PLA representation error each layer pays for its selected pulses.
+
+        Measured over the layer's exact activation grid (the levels its
+        quantiser can emit) at selection time, because the Eq. 5 objective
+        mixes candidate *noise* only and never sees this re-encoding error —
+        the mechanism behind the documented failure mode where GBO shortens
+        the least noise-sensitive layer to 4 pulses and pays an unmodelled
+        accuracy cost at evaluation.
+        """
+        errors: List[float] = []
+        for index, (layer, pulses) in enumerate(zip(self._layers, schedule)):
+            levels = layer.act_quantizer.levels
+            error = activation_grid_error(levels, pulses, mode=layer.pla_mode)
+            errors.append(error)
+            LOGGER.info(
+                "gbo layer %d selected %d pulses: PLA representation error "
+                "%.4f over its %d-level grid (Eq. 5 models candidate noise "
+                "only and is blind to this error)",
+                index,
+                pulses,
+                error,
+                levels,
+            )
+        return errors
 
     def _apply_schedule(self, schedule: PulseSchedule) -> None:
         """Configure the model for noisy inference with the selected schedule."""
         for layer, pulses in zip(self._layers, schedule):
-            layer.set_mode("noisy")
-            layer.set_pulses(pulses)
+            layer._apply_mode("noisy")
+            layer._apply_pulses(pulses)
 
 
 def apply_schedule(model, schedule: PulseSchedule) -> None:
@@ -230,5 +297,5 @@ def apply_schedule(model, schedule: PulseSchedule) -> None:
             "encoded layers"
         )
     for layer, pulses in zip(layers, schedule):
-        layer.set_mode("noisy")
-        layer.set_pulses(pulses)
+        layer._apply_mode("noisy")
+        layer._apply_pulses(pulses)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.optim import SGD, Adam
+from repro.sim import SimConfig, apply_config
 from repro.tensor import Tensor
 from repro.tensor import functional as F
 from repro.utils.logging import get_logger
@@ -82,10 +83,15 @@ class NIATrainer:
         config = self.config
         self.model.train()
         self.model.requires_grad_(True)
-        for layer in self.model.encoded_layers():
-            layer.set_mode("noisy")
-            layer.set_pulses(config.pulses)
-            layer.set_noise(config.sigma, relative_to_fan_in=config.sigma_relative_to_fan_in)
+        apply_config(
+            self.model,
+            SimConfig(
+                mode="noisy",
+                pulses=config.pulses,
+                noise_sigma=config.sigma,
+                sigma_relative_to_fan_in=config.sigma_relative_to_fan_in,
+            ),
+        )
 
         parameters = [p for p in self.model.parameters() if p.requires_grad]
         if config.optimizer == "adam":

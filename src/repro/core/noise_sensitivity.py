@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.sim import SimConfig, apply_config
 from repro.training.evaluate import evaluate_accuracy
 
 
@@ -60,9 +61,16 @@ def layer_noise_sensitivity(
 
     results: List[LayerSensitivity] = []
 
+    noisy_config = SimConfig(
+        mode="noisy",
+        pulses=pulses,
+        noise_sigma=sigma,
+        sigma_relative_to_fan_in=sigma_relative_to_fan_in,
+    )
+
     def _set_all_clean() -> None:
         for layer in layers:
-            layer.set_mode("clean")
+            layer._apply_mode("clean")
 
     if include_clean:
         _set_all_clean()
@@ -71,9 +79,7 @@ def layer_noise_sensitivity(
 
     for target_index, target_layer in enumerate(layers):
         _set_all_clean()
-        target_layer.set_mode("noisy")
-        target_layer.set_pulses(pulses)
-        target_layer.set_noise(sigma, relative_to_fan_in=sigma_relative_to_fan_in)
+        apply_config(target_layer, noisy_config)
         accuracy = evaluate_accuracy(model, loader)
         results.append(
             LayerSensitivity(

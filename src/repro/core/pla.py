@@ -71,6 +71,26 @@ def pla_approximation_error(
     return float(np.mean(np.abs(np.asarray(values, dtype=np.float64) - approx)))
 
 
+def activation_grid(levels: int) -> np.ndarray:
+    """The exact values an ``levels``-level activation quantiser can emit.
+
+    The single definition of "the layer's activation grid" shared by GBO's
+    selection-time PLA-error report and the facade's PLA calibration, so
+    the two can never disagree about what the representation error is
+    measured over.
+    """
+    if levels < 2:
+        raise ValueError(f"activation grid needs at least 2 levels, got {levels}")
+    return np.linspace(-1.0, 1.0, levels)
+
+
+def activation_grid_error(
+    levels: int, num_pulses: int, mode: RoundingMode = "toward_extremes"
+) -> float:
+    """Mean absolute PLA re-encoding error over the exact activation grid."""
+    return pla_approximation_error(activation_grid(levels), num_pulses, mode=mode)
+
+
 @dataclass(frozen=True)
 class PulseLengthApproximation:
     """Configured PLA re-encoder.

@@ -6,14 +6,18 @@ Usage (module form, with ``src`` on ``PYTHONPATH``)::
     python -m repro.experiments run all --profile fast --workers 4
     python -m repro.experiments run table1 table2 --engine vectorized
     python -m repro.experiments run fig2 --no-resume
+    python -m repro.experiments gc --dry-run
     python -m repro.experiments report --out report.md
 
 ``run`` executes each experiment's scenario grid through the runner:
 completed scenarios resume from the content-addressed result store under
 ``<cache-dir>/runner`` (so an interrupted suite continues where it stopped)
 and ``--workers N`` shards the remaining scenarios across N worker
-processes, bit-identically to the serial run.  ``report`` renders a
-markdown report purely from the store, recomputing nothing.
+processes, bit-identically to the serial run.  ``gc`` prunes store entries
+whose spec hashes no registered grid produces any more (changed grids and
+retired spec schemas hash elsewhere, so their old entries are dead weight).
+``report`` renders a markdown report purely from the store, recomputing
+nothing.
 """
 
 from __future__ import annotations
@@ -75,6 +79,31 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write a markdown report of the run's results to PATH",
+    )
+
+    gc_parser = subparsers.add_parser(
+        "gc",
+        help="prune result-store entries whose spec hashes no registered grid produces",
+        description=(
+            "Prune result-store entries outside the registered grids "
+            "(profile x engine).  NOTE: results of ad-hoc sweeps run through "
+            "driver keyword arguments (custom sigmas, profile overrides) are "
+            "not part of any registered grid and count as stale — use "
+            "--dry-run first if you keep such results."
+        ),
+    )
+    gc_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be pruned without deleting anything",
+    )
+    gc_parser.add_argument(
+        "--profile",
+        "-p",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict the live set to these profiles (default: all registered; repeatable)",
     )
 
     report_parser = subparsers.add_parser(
@@ -152,6 +181,23 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_gc(args: argparse.Namespace) -> int:
+    from repro.experiments.profiles import get_profile
+    from repro.experiments.registry import registered_spec_hashes
+    from repro.experiments.runner.store import default_store
+
+    profiles = None
+    if args.profile:
+        profiles = [get_profile(name) for name in args.profile]
+    store = default_store()
+    live = registered_spec_hashes(profiles=profiles)
+    report = store.gc(live, dry_run=args.dry_run)
+    for path in report.pruned:
+        print(f"{'would prune' if args.dry_run else 'pruned'}: {path}")
+    print(f"{store.root}: {report.summary()} ({len(live)} live spec hash(es))")
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     from repro.experiments.profiles import get_profile
     from repro.experiments.report import build_report_from_store
@@ -183,6 +229,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "gc":
+        return _command_gc(args)
     if args.command == "report":
         return _command_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -30,7 +30,8 @@ from repro.crossbar.analysis import bit_slicing_noise_variance, thermometer_nois
 from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.runner.spec import stable_seed
-from repro.experiments.table1 import run_gbo_stage
+from repro.experiments.table1 import resolve_driver_engines, run_gbo_stage
+from repro.sim import SimConfig
 from repro.tensor.random import RandomState
 from repro.training.evaluate import noisy_accuracy
 from repro.utils.logging import get_logger
@@ -118,9 +119,10 @@ def execute_encoding_scenario(ctx) -> Dict[str, Any]:
     accuracy = noisy_accuracy(
         model,
         ctx.test_loader,
-        sigma=per_pulse_sigma,
-        schedule=PulseSchedule.uniform(num_layers, base_pulses),
-        sigma_relative_to_fan_in=False,
+        sim=ctx.noisy_sim(
+            pulses=PulseSchedule.uniform(num_layers, base_pulses),
+            sigma=per_pulse_sigma,
+        ).with_changes(sigma_relative_to_fan_in=False),
         num_repeats=profile.eval_repeats,
     )
     LOGGER.info(
@@ -165,10 +167,16 @@ def run_encoding_ablation(
     engine=None,
     workers: int = 0,
     store=None,
+    sim: Optional[SimConfig] = None,
 ) -> EncodingAblationResult:
-    """A1: compare thermometer coding and bit slicing end to end."""
+    """A1: compare thermometer coding and bit slicing end to end.
+
+    ``sim`` carries the scenario-wide engine pin; ``engine=`` is the
+    deprecated spelling of the same thing.
+    """
     from repro.experiments.runner.executor import run_grid
 
+    engine, _ = resolve_driver_engines(engine, None, sim, None)
     bundle = bundle or get_pretrained_bundle(profile)
     profile = profile or bundle.profile
     grid = encoding_ablation_grid(profile, sigmas=sigmas, engine=engine)
@@ -282,6 +290,7 @@ def run_pla_error_ablation(
     engine=None,
     workers: int = 0,
     store=None,
+    sim: Optional[SimConfig] = None,
 ) -> List[PLAErrorRow]:
     """A2: representation error of PLA re-encoding.
 
@@ -289,8 +298,9 @@ def run_pla_error_ablation(
     fraction ``saturation`` of the mass at exactly +-1, the rest uniform over
     the quantisation grid), mimicking the BN + Tanh statistics the paper's
     PLA relies on, and the mean absolute re-encoding error is reported for
-    both rounding modes.  ``engine`` is accepted for driver-interface
-    uniformity (PLA re-encoding involves no crossbar reads).
+    both rounding modes.  ``sim`` / ``engine`` are accepted for
+    driver-interface uniformity (PLA re-encoding involves no crossbar
+    reads).
     """
     from repro.experiments.runner.executor import run_grid
 
@@ -359,13 +369,12 @@ def execute_gamma_scenario(ctx) -> Dict[str, Any]:
     spec = ctx.spec
     profile = ctx.profile
     model = ctx.model()
-    schedule = run_gbo_stage(ctx, model, spec.gamma, gbo_engine=spec.param("gbo_engine"))
+    gbo_result = run_gbo_stage(ctx, model, spec.gamma, gbo_engine=spec.param("gbo_engine"))
+    schedule = gbo_result.schedule
     accuracy = noisy_accuracy(
         model,
         ctx.test_loader,
-        sigma=spec.sigma,
-        schedule=schedule,
-        sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+        sim=ctx.noisy_sim(pulses=schedule),
         num_repeats=profile.eval_repeats,
     )
     LOGGER.info(
@@ -379,6 +388,7 @@ def execute_gamma_scenario(ctx) -> Dict[str, Any]:
         "schedule": schedule.as_list(),
         "average_pulses": schedule.average_pulses,
         "accuracy": accuracy,
+        "pla_errors": [float(e) for e in gbo_result.pla_errors],
     }
 
 
@@ -408,18 +418,22 @@ def run_gamma_tradeoff(
     engine=None,
     workers: int = 0,
     store=None,
+    sim: Optional[SimConfig] = None,
+    gbo_sim: Optional[SimConfig] = None,
 ) -> List[GammaTradeoffRow]:
     """A3: sweep the latency weight gamma of the GBO objective (Eq. 6).
 
     Larger gamma should push the selected schedules towards fewer pulses
     (lower latency, more noise, lower accuracy) — the trade-off the paper's
-    two GBO rows per noise level sample at two points.  ``gbo_engine``
-    optionally pins a simulation engine for the GBO trainings and ``engine``
-    for everything each scenario runs (``None`` keeps the profile's
-    backend).
+    two GBO rows per noise level sample at two points.  ``gbo_sim``
+    optionally pins a simulation engine for the GBO trainings and ``sim``
+    for everything each scenario runs (``None`` follows the one
+    engine-resolution rule); ``gbo_engine`` / ``engine`` are the deprecated
+    spellings.
     """
     from repro.experiments.runner.executor import run_grid
 
+    engine, gbo_engine = resolve_driver_engines(engine, gbo_engine, sim, gbo_sim)
     bundle = bundle or get_pretrained_bundle(profile)
     profile = profile or bundle.profile
     grid = gamma_tradeoff_grid(

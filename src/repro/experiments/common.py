@@ -21,6 +21,7 @@ from repro.data import DataLoader, SyntheticImageConfig, make_synthetic_cifar
 from repro.data.dataset import Subset, TensorDataset
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.models import VGG9, CrossbarLeNet, CrossbarMLP, VGGConfig
+from repro.sim import SimConfig, apply_config, resolve_engine_name
 from repro.tensor.random import RandomState
 from repro.training import PretrainConfig, evaluate_accuracy, pretrain_model
 from repro.training.checkpoint import (
@@ -145,12 +146,13 @@ def build_loaders(
 def build_model(profile: ExperimentProfile):
     """Instantiate the profile's network with the profile's quantisation setup.
 
-    The profile's ``backend`` selects the simulation engine of the encoded
-    layers (the ``REPRO_BACKEND`` environment variable overrides it).
+    The encoded layers' simulation engine follows the one precedence rule of
+    :func:`repro.sim.resolve_engine_name` (no explicit pin here, so:
+    deprecated ``REPRO_BACKEND`` override, else the profile's ``backend``).
     """
     rng = RandomState(profile.seed + 2)
     model = _build_model_architecture(profile, rng)
-    model.set_engine(os.environ.get("REPRO_BACKEND", profile.backend))
+    apply_config(model, SimConfig(engine=resolve_engine_name(None, profile)))
     return model
 
 
@@ -261,7 +263,7 @@ def get_pretrained_bundle(
         if use_disk_cache:
             save_checkpoint(checkpoint, model, metadata={"profile": profile.name})
 
-    model.set_mode("clean")
+    apply_config(model, SimConfig(mode="clean"))
     clean_accuracy = None
     if metadata is not None and metadata.get("clean_accuracy_num_test") == profile.num_test:
         # The token excludes eval-only fields, so the cached measurement is

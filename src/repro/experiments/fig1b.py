@@ -71,15 +71,14 @@ def fig1b_grid(
 
     The Monte-Carlo validation drives real noisy crossbar reads, whose RNG
     consumption is engine-dependent, so the resolved engine is part of every
-    spec (explicit argument > ``REPRO_BACKEND`` > the library default) —
-    results simulated under one backend never answer the other's store
-    lookups.
+    spec, following the one precedence rule of
+    :func:`repro.sim.resolve_engine_name` — results simulated under one
+    backend never answer the other's store lookups.
     """
-    import os
+    from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec
+    from repro.sim import resolve_engine_name
 
-    from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec, engine_token
-
-    engine = engine_token(engine) or os.environ.get("REPRO_BACKEND", "vectorized")
+    engine = resolve_engine_name(engine, None)
     monte_carlo_bits = {int(b) for b in monte_carlo_bits}
     specs = tuple(
         ScenarioSpec.create(
@@ -156,6 +155,7 @@ def run_fig1b(
     engine=None,
     workers: int = 0,
     store=None,
+    sim=None,
 ) -> Fig1bResult:
     """Compute the Fig. 1(b) series and Monte-Carlo validation points.
 
@@ -171,16 +171,20 @@ def run_fig1b(
         Per-pulse noise standard deviation.
     num_trials:
         Monte-Carlo trials per validation point.
+    sim:
+        Simulation config for the Monte-Carlo validation's crossbar reads;
+        ``None`` follows the one engine-resolution rule.  The analytic
+        series is engine-independent.
     engine:
-        Simulation engine (registry name) for the Monte-Carlo validation's
-        crossbar reads; ``None`` resolves ``REPRO_BACKEND`` / the library
-        default.  The analytic series is engine-independent.
+        Deprecated: pass ``sim=SimConfig(engine=...)`` instead.
     workers / store:
         Scenario-runner execution controls (see
         :func:`repro.experiments.runner.run_grid`).
     """
     from repro.experiments.runner.executor import run_grid
+    from repro.experiments.table1 import resolve_driver_engines
 
+    engine, _ = resolve_driver_engines(engine, None, sim, None)
     grid = fig1b_grid(
         bit_range=bit_range,
         monte_carlo_bits=monte_carlo_bits,

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Mapping, Optional
 from repro.core.noise_sensitivity import LayerSensitivity
 from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
 from repro.experiments.profiles import ExperimentProfile
+from repro.sim import SimConfig, configure
 from repro.training.evaluate import evaluate_accuracy
 
 
@@ -116,11 +117,10 @@ def execute_fig2_scenario(ctx) -> Dict[str, Any]:
         else [f"layer{i}" for i in range(len(layers))]
     )
     target = layers[target_index]
-    target.set_mode("noisy")
-    target.set_pulses(profile.base_pulses)
-    target.set_noise(spec.sigma, relative_to_fan_in=profile.noise_relative_to_fan_in)
-    accuracy = evaluate_accuracy(model, ctx.test_loader)
-    model.set_mode("clean")
+    # Only the target layer is made noisy; the session restores it to the
+    # model-wide clean baseline when the evaluation completes.
+    with configure(target, ctx.noisy_sim(pulses=profile.base_pulses)):
+        accuracy = evaluate_accuracy(model, ctx.test_loader)
     return {
         "layer_index": target_index,
         "layer_name": names[target_index],
@@ -157,6 +157,7 @@ def run_fig2(
     engine=None,
     workers: int = 0,
     store=None,
+    sim: Optional[SimConfig] = None,
 ) -> Fig2Result:
     """Run the layer-wise sensitivity analysis on the pre-trained model.
 
@@ -171,15 +172,19 @@ def run_fig2(
         Noise level for the injected layer; defaults to the middle entry of
         the profile's sigma sweep, matching the "moderate noise" setting of
         the paper's Fig. 2.
+    sim:
+        Simulation config for the evaluations; ``None`` follows the one
+        engine-resolution rule.
     engine:
-        Simulation engine (registry name) pinned on the evaluations; ``None``
-        keeps the profile's backend.
+        Deprecated: pass ``sim=SimConfig(engine=...)`` instead.
     workers / store:
         Scenario-runner execution controls (see
         :func:`repro.experiments.runner.run_grid`).
     """
     from repro.experiments.runner.executor import run_grid
+    from repro.experiments.table1 import resolve_driver_engines
 
+    engine, _ = resolve_driver_engines(engine, None, sim, None)
     bundle = bundle or get_pretrained_bundle(profile)
     profile = profile or bundle.profile
     grid = fig2_grid(

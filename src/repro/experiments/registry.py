@@ -18,7 +18,7 @@ Every entry exposes three faces of the same experiment:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Set
 
 from repro.experiments import ablations
 from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
@@ -209,15 +209,21 @@ def pin_grid_engine(grid, engine: Optional[str]):
         return grid
     from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec
 
-    return ScenarioGrid(
-        name=grid.name,
-        specs=tuple(
-            ScenarioSpec.from_dict({**s.as_dict(), "engine": engine})
-            if s.engine is not None
-            else s
-            for s in grid
-        ),
-    )
+    def pin(spec: ScenarioSpec) -> ScenarioSpec:
+        if spec.engine is None:
+            return spec
+        payload = {**spec.as_dict(), "engine": engine}
+        if "sim" in payload:
+            # An explicitly attached sim config carries its own engine
+            # field; it must follow the pin or the spec would disagree
+            # with the config it executes under.
+            payload["sim"] = [
+                ["engine", engine] if pair[0] == "engine" else pair
+                for pair in payload["sim"]
+            ]
+        return ScenarioSpec.from_dict(payload)
+
+    return ScenarioGrid(name=grid.name, specs=tuple(pin(s) for s in grid))
 
 
 def format_result(spec: ExperimentSpec, result: Any) -> str:
@@ -261,6 +267,37 @@ def run_experiment(
     outcome = run_grid(grid, workers=workers, store=store, bundle=bundle, resume=resume)
     assembled = spec.assemble(grid, outcome.results, bundle)
     return assembled, outcome
+
+
+def registered_spec_hashes(
+    profiles=None, engines: Optional[Sequence[Optional[str]]] = None
+) -> Set[str]:
+    """Spec hashes every registered grid can currently produce.
+
+    The union over all registered profiles (or ``profiles``) and engine pins
+    (default: the unpinned grid plus one pin per registered engine) of every
+    experiment's default grid.  This is the result-store GC's notion of
+    "live": entries outside it — stale spec schemas, retuned grids, but
+    also ad-hoc sweeps run through driver kwargs (custom ``sigmas=``,
+    profile overrides, ...) that no registered grid reproduces — are
+    treated as prunable.  Callers keeping ad-hoc results should gc with
+    ``--dry-run`` first, or not at all.
+    """
+    from repro.backend import available_engines
+    from repro.experiments.profiles import PROFILES
+
+    if profiles is None:
+        profiles = list(PROFILES.values())
+    if engines is None:
+        engines = (None, *available_engines())
+    hashes: Set[str] = set()
+    for profile in profiles:
+        for spec in EXPERIMENTS.values():
+            grid = spec.grid(profile)
+            for engine in engines:
+                for scenario in pin_grid_engine(grid, engine):
+                    hashes.add(scenario.hash)
+    return hashes
 
 
 def describe_experiments() -> str:

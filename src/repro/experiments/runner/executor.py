@@ -42,6 +42,7 @@ from repro.experiments.profiles import get_profile
 from repro.experiments.runner.scenarios import execute_scenario, needs_bundle
 from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec
 from repro.experiments.runner.store import MemoryStore, ResultStore, jsonify_result
+from repro.sim import SimConfig, apply_config
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("repro.runner")
@@ -242,11 +243,11 @@ def run_grid(
                 len(grid),
             )
         # Leave shared models as the drivers always have: at the pre-trained
-        # snapshot, trainable, in clean mode.
+        # snapshot, trainable, in the clean baseline config.
         for spec_bundle in touched.values():
             spec_bundle.restore_pretrained()
             spec_bundle.model.requires_grad_(True)
-            spec_bundle.model.set_mode("clean")
+            apply_config(spec_bundle.model, SimConfig(mode="clean"))
 
     outcome.duration_s = time.perf_counter() - start
     return outcome

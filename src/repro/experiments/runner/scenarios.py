@@ -30,13 +30,13 @@ bit-identical):
 from __future__ import annotations
 
 import importlib
-import os
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.runner.spec import ScenarioSpec, stable_seed
+from repro.sim import SimConfig, apply_config, resolve_engine_name
 from repro.utils.seed import seed_everything
 
 #: experiment identifier -> (module, executor function, needs a pre-trained bundle)
@@ -136,9 +136,10 @@ class ScenarioContext:
         """The bundle's model, reset to a scenario-independent state.
 
         Restores the pre-trained snapshot (weights, BN buffers), re-enables
-        gradients (a previous GBO scenario froze them), switches every
-        encoded layer to ``clean`` mode and re-pins the simulation engine
-        (the spec's pin, or the profile/environment default).
+        gradients (a previous GBO scenario froze them) and applies the
+        scenario's base :class:`~repro.sim.SimConfig` — clean mode, zero
+        noise, the spec's resolved engine — erasing whatever a previous
+        scenario configured on the shared model.
         """
         if self.bundle is None:
             raise ValueError(
@@ -147,16 +148,38 @@ class ScenarioContext:
         model = self.bundle.model
         self.bundle.restore_pretrained()
         model.requires_grad_(True)
-        model.set_mode("clean")
-        model.set_engine(self.engine_name())
+        apply_config(model, self.sim_config(), self.profile)
         return model
 
+    def sim_config(self) -> SimConfig:
+        """The scenario's base simulation config (see ScenarioSpec.sim_config)."""
+        return self.spec.sim_config(self.profile)
+
+    def noisy_sim(self, pulses=None, sigma: Optional[float] = None) -> SimConfig:
+        """The scenario's noisy-inference config.
+
+        Derived from the base config: noisy mode, the spec's sigma (or an
+        explicit override), the profile's noise convention and an optional
+        pulse count/schedule (``None`` keeps the model's current pulses).
+        """
+        profile = self.profile
+        return self.sim_config().with_changes(
+            mode="noisy",
+            noise_sigma=float(sigma if sigma is not None else self.spec.sigma),
+            pulses=pulses,
+            sigma_relative_to_fan_in=(
+                profile.noise_relative_to_fan_in if profile is not None else None
+            ),
+        )
+
     def engine_name(self) -> str:
-        """The engine this scenario runs on (spec pin > env > profile)."""
-        if self.spec.engine is not None:
-            return self.spec.engine
-        backend = self.profile.backend if self.profile is not None else "vectorized"
-        return os.environ.get("REPRO_BACKEND", backend)
+        """The scenario's engine under the one precedence rule.
+
+        Spec pin first, then the deprecated ``REPRO_BACKEND`` override, the
+        profile's backend, and finally the process default — see
+        :func:`repro.sim.resolve_engine_name`.
+        """
+        return resolve_engine_name(self.spec.engine, self.profile)
 
     def loaders(self):
         """Fresh (train, test, gbo) loaders for the scenario's profile."""

@@ -9,12 +9,14 @@ depends only on *what* it is, never on *when* or *where* it runs.
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.sim import SimConfig
+from repro.sim import engine_name as _engine_name
+from repro.sim import resolve_engine_name
+from repro.utils.hashing import stable_hash, stable_seed
 
 #: Bump when the execution semantics change incompatibly; part of the hash,
 #: so stale store entries are simply never looked up again.
@@ -34,12 +36,6 @@ def _freeze(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]
     return tuple(items)
 
 
-def stable_hash(payload: Any, length: int = 16) -> str:
-    """Hex digest of a JSON-canonicalised payload (stable across processes)."""
-    text = json.dumps(payload, sort_keys=True, default=str)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
-
-
 def engine_token(engine: Any) -> Optional[str]:
     """Canonical registry name for an engine pin.
 
@@ -48,16 +44,9 @@ def engine_token(engine: Any) -> Optional[str]:
     engine instance (coerced via its ``name`` attribute, the same identity
     the :mod:`repro.backend` registry uses); anything else is rejected
     loudly rather than stringified into an address-dependent hash.
+    Alias of :func:`repro.sim.engine_name` — one canonicalisation rule.
     """
-    if engine is None or isinstance(engine, str):
-        return engine
-    name = getattr(engine, "name", None)
-    if isinstance(name, str) and name:
-        return name
-    raise TypeError(
-        f"engine pin must be None, a registry name or an engine instance "
-        f"with a .name, got {engine!r}"
-    )
+    return _engine_name(engine)
 
 
 def profile_axes(profile, engine: Any = None) -> Dict[str, Any]:
@@ -69,9 +58,10 @@ def profile_axes(profile, engine: Any = None) -> Dict[str, Any]:
     * the profile travels as ``name`` + the overrides that differ from the
       registered base (a worker rebuilds it exactly, and an overridden
       profile hashes differently from the base one);
-    * the engine pin is resolved *now* — explicit argument, else the
-      ``REPRO_BACKEND`` environment variable, else the profile's backend —
-      so results produced under different backends can never answer each
+    * the engine pin is resolved *now*, through the one precedence rule of
+      :func:`repro.sim.resolve_engine_name` (explicit argument, deprecated
+      ``REPRO_BACKEND``, the profile's backend, the process default) — so
+      results produced under different backends can never answer each
       other's store lookups (the engines agree only statistically on noisy
       reads, not sample-for-sample).
     """
@@ -80,8 +70,7 @@ def profile_axes(profile, engine: Any = None) -> Dict[str, Any]:
     return {
         "profile": profile.name,
         "overrides": profile_overrides(profile),
-        "engine": engine_token(engine)
-        or os.environ.get("REPRO_BACKEND", profile.backend),
+        "engine": resolve_engine_name(engine, profile),
     }
 
 
@@ -99,13 +88,6 @@ def grid_profile(grid: "ScenarioGrid", fallback: Any = None):
 
         return get_profile(first.profile).with_overrides(**first.override_dict())
     return fallback.profile if fallback is not None else None
-
-
-def stable_seed(payload: Any) -> int:
-    """A 31-bit RNG seed derived from a JSON-canonicalised payload."""
-    text = json.dumps(payload, sort_keys=True, default=str)
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
-    return int.from_bytes(digest[:4], "big") % (2**31 - 1)
 
 
 @dataclass(frozen=True)
@@ -135,6 +117,15 @@ class ScenarioSpec:
         the profile's seed (or 0 for profile-less experiments).
     params:
         Frozen experiment-specific extras (pulse counts, layer index, ...).
+    sim:
+        Frozen payload of an explicitly attached, non-default
+        :class:`repro.sim.SimConfig`.  A scenario's identity *always*
+        incorporates its sim config: for default configs the config is a
+        pure function of the hashed ``engine`` / ``sigma`` / profile fields
+        (see :meth:`sim_config`), so the payload stays empty and existing
+        scenario hashes are unchanged; an explicitly attached non-default
+        config extends the hashed payload (``"sim"`` key) and therefore
+        changes the identity, store key and derived seed.
     """
 
     experiment: str
@@ -146,6 +137,7 @@ class ScenarioSpec:
     engine: Optional[str] = None
     seed: Optional[int] = None
     params: Tuple[Tuple[str, Any], ...] = ()
+    sim: Tuple[Tuple[str, Any], ...] = ()
 
     @classmethod
     def create(
@@ -158,9 +150,22 @@ class ScenarioSpec:
         gamma: Optional[float] = None,
         engine: Optional[str] = None,
         seed: Optional[int] = None,
+        sim: Optional[SimConfig] = None,
         **params: Any,
     ) -> "ScenarioSpec":
-        """Build a spec with mappings canonicalised into frozen tuples."""
+        """Build a spec with mappings canonicalised into frozen tuples.
+
+        ``sim`` attaches an explicit non-default :class:`SimConfig`; when
+        given, its engine pin becomes the spec's engine and the full config
+        payload joins the hashed identity.
+        """
+        if sim is not None:
+            if engine is not None and engine_token(engine) != sim.engine:
+                raise ValueError(
+                    f"conflicting engine pins: engine={engine!r} vs "
+                    f"sim.engine={sim.engine!r}"
+                )
+            engine = sim.engine
         return cls(
             experiment=experiment,
             method=method,
@@ -171,6 +176,7 @@ class ScenarioSpec:
             engine=engine_token(engine),
             seed=seed,
             params=_freeze(params),
+            sim=() if sim is None else _freeze(sim.as_dict()),
         )
 
     # ------------------------------------------------------------------
@@ -188,8 +194,13 @@ class ScenarioSpec:
         return {key: value for key, value in self.overrides}
 
     def as_dict(self) -> Dict[str, Any]:
-        """Canonical JSON-serialisable form (used for hashing and storage)."""
-        return {
+        """Canonical JSON-serialisable form (used for hashing and storage).
+
+        The ``"sim"`` key is present only for explicitly attached
+        non-default configs — default-config specs keep the exact payload
+        (and hence hash) they had before sim configs existed.
+        """
+        payload = {
             "version": SPEC_VERSION,
             "experiment": self.experiment,
             "method": self.method,
@@ -201,6 +212,9 @@ class ScenarioSpec:
             "seed": self.seed,
             "params": [list(pair) for pair in self.params],
         }
+        if self.sim:
+            payload["sim"] = [list(pair) for pair in self.sim]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
@@ -221,6 +235,40 @@ class ScenarioSpec:
                 (pair[0], tuple(pair[1]) if isinstance(pair[1], list) else pair[1])
                 for pair in payload.get("params", ())
             ),
+            sim=tuple(
+                (pair[0], tuple(pair[1]) if isinstance(pair[1], list) else pair[1])
+                for pair in payload.get("sim", ())
+            ),
+        )
+
+    def sim_config(self, profile: Any = None) -> SimConfig:
+        """The scenario's base :class:`SimConfig` (clean mode, resolved engine).
+
+        For default specs the config is derived from the hashed spec fields
+        — the spec's engine pin (resolved through the one precedence rule
+        when absent) plus the profile's conventions — which is why the
+        spec hash already incorporates the config identity without an extra
+        payload.  Explicitly attached configs (:meth:`create`'s ``sim=``)
+        are returned verbatim.
+
+        The derived baseline is deliberately *concrete* (baseline pulse
+        count, paper PLA rounding) rather than "keep current": applying it
+        in :meth:`ScenarioContext.model` must erase whatever a previous
+        scenario — possibly one with an explicitly attached non-default
+        config — left on the shared model, or results would depend on
+        execution order.
+        """
+        if self.sim:
+            return SimConfig.from_dict(dict(self.sim))
+        engine = self.engine
+        if engine is None:
+            engine = resolve_engine_name(None, profile)
+        base_pulses = getattr(profile, "base_pulses", None)
+        return SimConfig(
+            engine=engine,
+            pulses=base_pulses,
+            sigma_relative_to_fan_in=getattr(profile, "noise_relative_to_fan_in", None),
+            pla_mode="toward_extremes",
         )
 
     @cached_property

@@ -160,12 +160,66 @@ class ResultStore:
         )
         return state
 
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def result_files(self) -> Dict[str, str]:
+        """All stored result files: spec hash (from the filename) -> path."""
+        import glob
+
+        pattern = os.path.join(self.root, "results", "*", "*.json")
+        return {
+            os.path.splitext(os.path.basename(path))[0]: path
+            for path in sorted(glob.glob(pattern))
+        }
+
+    def gc(self, valid_hashes, dry_run: bool = False) -> "GCReport":
+        """Prune result entries whose hash no registered grid produces.
+
+        ``valid_hashes`` is the live set (see
+        :func:`repro.experiments.registry.registered_spec_hashes`).  Stage
+        entries are left untouched: their keys are derived at execution time
+        and an orphaned stage is recomputed-on-miss anyway.  With
+        ``dry_run=True`` nothing is deleted; the report lists what would be.
+        """
+        valid = set(valid_hashes)
+        report = GCReport(dry_run=dry_run)
+        for spec_hash, path in self.result_files().items():
+            if spec_hash in valid:
+                report.kept += 1
+                continue
+            report.pruned.append(path)
+            if not dry_run:
+                os.remove(path)
+        if not dry_run:
+            # Drop experiment directories the prune emptied.
+            results_root = os.path.join(self.root, "results")
+            if os.path.isdir(results_root):
+                for entry in os.listdir(results_root):
+                    directory = os.path.join(results_root, entry)
+                    if os.path.isdir(directory) and not os.listdir(directory):
+                        os.rmdir(directory)
+        return report
+
     def clear(self) -> None:
         """Remove every stored result and stage (used by tests)."""
         import shutil
 
         if os.path.isdir(self.root):
             shutil.rmtree(self.root)
+
+
+class GCReport:
+    """Outcome of one :meth:`ResultStore.gc` pass."""
+
+    def __init__(self, dry_run: bool = False):
+        self.dry_run = dry_run
+        self.kept = 0
+        self.pruned: list = []
+
+    def summary(self) -> str:
+        verb = "would prune" if self.dry_run else "pruned"
+        return f"{verb} {len(self.pruned)} stale result(s), kept {self.kept}"
 
 
 class MemoryStore:

@@ -29,7 +29,9 @@ from repro.core.schedule import PulseSchedule
 from repro.core.search_space import PulseScalingSpace
 from repro.experiments.common import ExperimentBundle, get_pretrained_bundle
 from repro.experiments.profiles import ExperimentProfile
+from repro.sim import SimConfig, apply_config
 from repro.training.evaluate import noisy_accuracy
+from repro.utils.deprecation import warn_deprecated
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("repro.table1")
@@ -201,21 +203,32 @@ def table1_grid(
 
 
 def _evaluate_schedule(ctx, model, schedule: PulseSchedule) -> float:
-    profile = ctx.profile
     return noisy_accuracy(
         model,
         ctx.test_loader,
-        sigma=ctx.spec.sigma,
-        schedule=schedule,
-        sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
-        num_repeats=profile.eval_repeats,
+        sim=ctx.noisy_sim(pulses=schedule),
+        num_repeats=ctx.profile.eval_repeats,
     )
 
 
-def run_gbo_stage(ctx, model, gamma: float, gbo_engine=None) -> "PulseSchedule":
-    """One GBO training on the current model state (shared with Table II)."""
+def run_gbo_stage(ctx, model, gamma: float, gbo_engine=None):
+    """One GBO training on the current model state (shared with Table II).
+
+    The scenario's noise level travels to the model as a :class:`SimConfig`
+    (clean mode — the trainer switches the layers to ``gbo`` itself);
+    ``gbo_engine`` optionally pins a different engine for the training stage
+    only.  Returns the full :class:`~repro.core.gbo.GBOResult` (schedule,
+    logits, per-layer PLA representation errors of the selection).
+    """
     profile = ctx.profile
-    model.set_noise(ctx.spec.sigma, relative_to_fan_in=profile.noise_relative_to_fan_in)
+    apply_config(
+        model,
+        ctx.sim_config().with_changes(
+            noise_sigma=float(ctx.spec.sigma),
+            sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+        ),
+        profile,
+    )
     trainer = GBOTrainer(
         model,
         GBOConfig(
@@ -224,21 +237,24 @@ def run_gbo_stage(ctx, model, gamma: float, gbo_engine=None) -> "PulseSchedule":
             learning_rate=profile.gbo_lr,
             epochs=profile.gbo_epochs,
         ),
-        engine=gbo_engine,
+        sim=SimConfig(engine=gbo_engine) if gbo_engine is not None else None,
     )
     gbo_result = trainer.train(ctx.gbo_loader)
     # GBO froze the weights for its logit-only optimisation; undo so later
     # stages (e.g. NIA) can fine-tune again.
     model.requires_grad_(True)
-    return gbo_result.schedule
+    return gbo_result
 
 
 def execute_table1_scenario(ctx) -> Dict[str, Any]:
     """One Table I cell: evaluate a uniform schedule or train + evaluate GBO."""
     spec = ctx.spec
     model = ctx.model()
+    pla_errors = None
     if spec.method.startswith("GBO"):
-        schedule = run_gbo_stage(ctx, model, spec.gamma, gbo_engine=spec.param("gbo_engine"))
+        gbo_result = run_gbo_stage(ctx, model, spec.gamma, gbo_engine=spec.param("gbo_engine"))
+        schedule = gbo_result.schedule
+        pla_errors = gbo_result.pla_errors
     else:
         schedule = PulseSchedule.uniform(
             model.num_encoded_layers(), int(spec.param("pulses"))
@@ -251,11 +267,16 @@ def execute_table1_scenario(ctx) -> Dict[str, Any]:
         accuracy,
         schedule.average_pulses,
     )
-    return {
+    result = {
         "schedule": schedule.as_list(),
         "average_pulses": schedule.average_pulses,
         "accuracy": accuracy,
     }
+    if pla_errors is not None:
+        # Surface the selection's unmodelled PLA representation error (the
+        # "GBO is blind to PLA error" finding) in the stored run output.
+        result["pla_errors"] = [float(e) for e in pla_errors]
+    return result
 
 
 def assemble_table1(
@@ -285,6 +306,63 @@ def assemble_table1(
     return result
 
 
+def _require_engine_only(config: Optional[SimConfig], name: str) -> None:
+    """Reject driver sim configs carrying anything beyond an engine pin.
+
+    A driver's scenarios derive mode/pulses/noise from the experiment's own
+    grid definition (that is what makes their hashes the experiment's
+    identity), so a ``sim=`` with, say, a custom ``noise_sigma`` cannot be
+    honoured — failing loudly beats silently running the default
+    configuration and caching it under the default keys.
+    """
+    if config is None:
+        return
+    ignored = config.with_changes(engine=None)
+    if ignored != SimConfig():
+        raise ValueError(
+            f"{name} carries fields beyond an engine pin ({ignored}); driver "
+            f"scenarios derive mode/pulses/noise from their grid — use the "
+            f"drivers' sigma arguments, profile overrides, or attach full "
+            f"configs per spec via ScenarioSpec.create(sim=...)"
+        )
+
+
+def resolve_driver_engines(engine, gbo_engine, sim, gbo_sim):
+    """Fold a driver's deprecated engine kwargs into its sim-config pins.
+
+    Shared by every driver that accepts the legacy ``engine=`` /
+    ``gbo_engine=`` keywords: each emits a :class:`DeprecationWarning` and is
+    mapped onto the equivalent :class:`SimConfig` pin, so the two paths stay
+    bit-identical by construction.  Returns ``(engine_pin, gbo_engine_pin)``
+    as registry names (or ``None``).  The configs may carry nothing beyond
+    their engine pin (see :func:`_require_engine_only`).
+    """
+    _require_engine_only(sim, "sim=")
+    _require_engine_only(gbo_sim, "gbo_sim=")
+    if engine is not None:
+        warn_deprecated(
+            "the engine= driver keyword is deprecated; pass "
+            "sim=SimConfig(engine=...) instead",
+            stacklevel=4,
+        )
+        if sim is not None and sim.engine is not None:
+            raise ValueError("pass either engine= or sim=, not both")
+        sim = (sim or SimConfig()).with_changes(engine=engine)
+    if gbo_engine is not None:
+        warn_deprecated(
+            "the gbo_engine= driver keyword is deprecated; pass "
+            "gbo_sim=SimConfig(engine=...) instead",
+            stacklevel=4,
+        )
+        if gbo_sim is not None and gbo_sim.engine is not None:
+            raise ValueError("pass either gbo_engine= or gbo_sim=, not both")
+        gbo_sim = (gbo_sim or SimConfig()).with_changes(engine=gbo_engine)
+    return (
+        sim.engine if sim is not None else None,
+        gbo_sim.engine if gbo_sim is not None else None,
+    )
+
+
 def run_table1(
     profile: Optional[ExperimentProfile] = None,
     bundle: Optional[ExperimentBundle] = None,
@@ -295,6 +373,8 @@ def run_table1(
     engine=None,
     workers: int = 0,
     store=None,
+    sim: Optional[SimConfig] = None,
+    gbo_sim: Optional[SimConfig] = None,
 ) -> Table1Result:
     """Reproduce Table I on the profile's pre-trained model.
 
@@ -311,20 +391,26 @@ def run_table1(
         Uniform PLA schedules to evaluate.
     include_gbo:
         Allow skipping the (expensive) GBO rows, used by smoke tests.
-    gbo_engine:
-        Simulation engine (registry name) for the GBO training stage only;
-        ``None`` keeps the scenario's engine.  The GBO stage dominates the
-        driver's runtime, so forcing ``"vectorized"`` here (the default via
-        profiles) folds every candidate mixture into one batched read.
-    engine:
-        Simulation engine (registry name) pinned on everything each scenario
-        runs; ``None`` keeps the profile's backend.
+    sim:
+        Engine pin for everything each scenario runs; the pin enters every
+        spec's identity.  The config may carry nothing beyond its engine —
+        scenario mode/pulses/noise come from the grid.  ``None`` follows
+        the one resolution rule (``REPRO_BACKEND`` > profile backend >
+        process default).
+    gbo_sim:
+        Engine pin for the GBO training stage only; ``None`` keeps the
+        scenario's engine.  The GBO stage dominates the driver's runtime,
+        so pinning ``"vectorized"`` here folds every candidate mixture into
+        one batched read.
+    gbo_engine / engine:
+        Deprecated: pass ``gbo_sim=`` / ``sim=`` instead (bit-identical).
     workers / store:
         Scenario-runner execution controls (see
         :func:`repro.experiments.runner.run_grid`).
     """
     from repro.experiments.runner.executor import run_grid
 
+    engine, gbo_engine = resolve_driver_engines(engine, gbo_engine, sim, gbo_sim)
     bundle = bundle or get_pretrained_bundle(profile)
     # Grids are built from the *requested* profile: the bundle cache aliases
     # profiles differing only in eval-only fields, so bundle.profile may

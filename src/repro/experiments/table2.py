@@ -34,7 +34,13 @@ from repro.experiments.common import (
     profile_token,
 )
 from repro.experiments.profiles import ExperimentProfile
-from repro.experiments.table1 import _paper_sigma_for, grid_sigma_rank, run_gbo_stage
+from repro.experiments.table1 import (
+    _paper_sigma_for,
+    grid_sigma_rank,
+    resolve_driver_engines,
+    run_gbo_stage,
+)
+from repro.sim import SimConfig, apply_config
 from repro.training.evaluate import noisy_accuracy
 from repro.utils.logging import get_logger
 
@@ -200,7 +206,7 @@ def _nia_stage_state(ctx, model) -> Dict[str, Any]:
     def compute():
         ctx.bundle.restore_pretrained()
         model.requires_grad_(True)
-        model.set_engine(engine)
+        apply_config(model, SimConfig(engine=engine), profile)
         train_loader, _, _ = build_loaders(profile)
         nia_config = NIAConfig(
             sigma=sigma,
@@ -230,8 +236,11 @@ def execute_table2_scenario(ctx) -> Dict[str, Any]:
         model.load_state_dict(nia_state, strict=False)
 
     num_layers = model.num_encoded_layers()
+    pla_errors = None
     if spec.method in ("GBO", "NIA+GBO"):
-        schedule = run_gbo_stage(ctx, model, spec.gamma, gbo_engine=spec.param("gbo_engine"))
+        gbo_result = run_gbo_stage(ctx, model, spec.gamma, gbo_engine=spec.param("gbo_engine"))
+        schedule = gbo_result.schedule
+        pla_errors = gbo_result.pla_errors
     elif spec.method == "NIA+PLA":
         schedule = PulseSchedule.uniform(num_layers, int(spec.param("nia_pla_pulses", 10)))
     else:  # Baseline / NIA: the 8-pulse baseline encoding
@@ -240,9 +249,7 @@ def execute_table2_scenario(ctx) -> Dict[str, Any]:
     accuracy = noisy_accuracy(
         model,
         ctx.test_loader,
-        sigma=spec.sigma,
-        schedule=schedule,
-        sigma_relative_to_fan_in=profile.noise_relative_to_fan_in,
+        sim=ctx.noisy_sim(pulses=schedule),
         num_repeats=profile.eval_repeats,
     )
     LOGGER.info(
@@ -252,11 +259,14 @@ def execute_table2_scenario(ctx) -> Dict[str, Any]:
         accuracy,
         schedule.average_pulses,
     )
-    return {
+    result = {
         "schedule": schedule.as_list(),
         "average_pulses": schedule.average_pulses,
         "accuracy": accuracy,
     }
+    if pla_errors is not None:
+        result["pla_errors"] = [float(e) for e in pla_errors]
+    return result
 
 
 def assemble_table2(
@@ -296,6 +306,8 @@ def run_table2(
     engine=None,
     workers: int = 0,
     store=None,
+    sim: Optional[SimConfig] = None,
+    gbo_sim: Optional[SimConfig] = None,
 ) -> Table2Result:
     """Reproduce Table II on the profile's pre-trained model.
 
@@ -307,18 +319,22 @@ def run_table2(
     gbo_gamma:
         Latency weight used for the GBO and NIA+GBO rows.  Defaults to a
         fifth of the profile's ``gamma_long`` (see :func:`table2_grid`).
-    gbo_engine:
-        Simulation engine (registry name) for the GBO training stage of the
-        GBO and NIA+GBO rows; ``None`` keeps the scenario's engine.
-    engine:
-        Simulation engine (registry name) pinned on everything each scenario
-        runs; ``None`` keeps the profile's backend.
+    sim:
+        Engine pin for everything each scenario runs (the config may carry
+        nothing beyond its engine — scenario mode/pulses/noise come from
+        the grid); ``None`` follows the one engine-resolution rule.
+    gbo_sim:
+        Engine pin for the GBO training stage of the GBO and NIA+GBO rows;
+        ``None`` keeps the scenario's engine.
+    gbo_engine / engine:
+        Deprecated: pass ``gbo_sim=`` / ``sim=`` instead (bit-identical).
     workers / store:
         Scenario-runner execution controls (see
         :func:`repro.experiments.runner.run_grid`).
     """
     from repro.experiments.runner.executor import run_grid
 
+    engine, gbo_engine = resolve_driver_engines(engine, gbo_engine, sim, gbo_sim)
     bundle = bundle or get_pretrained_bundle(profile)
     profile = profile or bundle.profile
     grid = table2_grid(

@@ -42,6 +42,7 @@ from repro.nn import (
 from repro.quant.qat import QuantConv2d
 from repro.tensor import Tensor
 from repro.tensor.random import RandomState
+from repro.utils.deprecation import warn_deprecated
 
 
 @dataclass
@@ -197,29 +198,45 @@ class VGG9(Module):
         return iter(self.encoded_layers())
 
     def set_mode(self, mode: str) -> None:
-        """Set the forward mode (``clean`` / ``noisy`` / ``gbo``) of all encoded layers."""
+        """Deprecated: apply a ``repro.sim.SimConfig`` via ``configure()`` instead."""
+        warn_deprecated(
+            "model.set_mode() is deprecated; apply an immutable "
+            "repro.sim.SimConfig via repro.sim.configure()/apply_config()"
+        )
         for layer in self.encoded_layers():
-            layer.set_mode(mode)
+            layer._apply_mode(mode)
 
     def set_noise(self, sigma: float, relative_to_fan_in: Optional[bool] = None) -> None:
-        """Set the per-pulse crossbar noise of all encoded layers."""
+        """Deprecated: apply a ``repro.sim.SimConfig`` via ``configure()`` instead."""
+        warn_deprecated(
+            "model.set_noise() is deprecated; apply an immutable "
+            "repro.sim.SimConfig via repro.sim.configure()/apply_config()"
+        )
         for layer in self.encoded_layers():
-            layer.set_noise(sigma, relative_to_fan_in=relative_to_fan_in)
+            layer._apply_noise(sigma, relative_to_fan_in=relative_to_fan_in)
 
     def set_engine(self, engine) -> None:
-        """Set the simulation backend (engine instance or name) of all encoded layers."""
+        """Deprecated: pin the engine via ``SimConfig(engine=...)`` instead."""
+        warn_deprecated(
+            "model.set_engine() is deprecated; pin an engine via "
+            "repro.sim.SimConfig(engine=...) and configure()/apply_config()"
+        )
         for layer in self.encoded_layers():
-            layer.set_engine(engine)
+            layer._apply_engine(engine)
 
     def set_schedule(self, schedule: PulseSchedule) -> None:
-        """Assign per-layer pulse counts (must have 7 entries)."""
+        """Deprecated: apply a ``repro.sim.SimConfig(pulses=...)`` via ``configure()``."""
+        warn_deprecated(
+            "model.set_schedule() is deprecated; apply an immutable "
+            "repro.sim.SimConfig(pulses=...) via repro.sim.configure()/apply_config()"
+        )
         layers = self.encoded_layers()
         if len(schedule) != len(layers):
             raise ValueError(
                 f"schedule has {len(schedule)} entries, expected {len(layers)}"
             )
         for layer, pulses in zip(layers, schedule):
-            layer.set_pulses(pulses)
+            layer._apply_pulses(pulses)
 
     def current_schedule(self) -> PulseSchedule:
         """The pulse counts currently configured on the encoded layers."""

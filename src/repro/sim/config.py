@@ -1,0 +1,242 @@
+""":class:`SimConfig` — simulation state as an immutable, hashable value.
+
+Everything that used to be smeared across live layer attributes (forward
+mode, pulse counts, noise level, PLA rounding) and four competing engine
+selectors is captured here as one frozen dataclass.  A config can be hashed
+(:attr:`SimConfig.hash`, stable across processes), serialised to JSON and
+back bit-identically, and applied to a model atomically through
+:class:`repro.sim.Session`.
+
+Engine resolution — the one precedence rule
+-------------------------------------------
+Before this module, an engine could be chosen in four places that silently
+overrode each other: the ``REPRO_BACKEND`` environment variable, a profile's
+``backend`` field, ``layer.set_engine`` pins, and per-call ``engine=`` /
+``gbo_engine=`` keyword arguments.  :func:`resolve_engine_name` replaces all
+four with a single documented rule, highest priority first:
+
+1. an explicit pin (``SimConfig.engine`` / a scenario spec's ``engine``);
+2. the ``REPRO_BACKEND`` environment variable (deprecated — emits a
+   :class:`DeprecationWarning` when consulted);
+3. the profile's ``backend`` field, when a profile is in play;
+4. the process default (:func:`repro.backend.set_default_engine`, else
+   ``"vectorized"``).
+
+``SimConfig.engine is None`` additionally means *engine-agnostic* at apply
+time: :func:`repro.sim.session.apply_config` leaves the layers' engines
+untouched, which is what keeps the deprecated pin-then-evaluate paths
+bit-identical.  Wherever a concrete engine must be chosen (building scenario
+specs, constructing a model), callers resolve through the rule above.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.utils.deprecation import warn_deprecated
+from repro.utils.hashing import stable_hash
+
+#: Bump when the config semantics change incompatibly; part of the hash.
+CONFIG_VERSION = 1
+
+#: Forward modes of the encoded layers (see :mod:`repro.core.encoder_layer`).
+FORWARD_MODES = ("clean", "noisy", "gbo")
+
+#: PLA rounding modes (see :mod:`repro.core.pla`).
+PLA_MODES = ("toward_extremes", "nearest")
+
+#: Environment variable of the deprecated process-wide engine override.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+PulsesLike = Union[int, Tuple[int, ...], None]
+
+
+def engine_name(engine: Any) -> Optional[str]:
+    """Canonical registry name of an engine pin (``None`` passes through).
+
+    Accepts ``None``, a registry name, or an engine instance (coerced via
+    its ``name`` attribute — the identity the :mod:`repro.backend` registry
+    uses).  Anything else is rejected loudly rather than stringified into an
+    address-dependent hash.
+    """
+    if engine is None or isinstance(engine, str):
+        return engine
+    name = getattr(engine, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    raise TypeError(
+        f"engine pin must be None, a registry name or an engine instance "
+        f"with a .name, got {engine!r}"
+    )
+
+
+def resolve_engine_name(engine: Any = None, profile: Any = None) -> str:
+    """Resolve an engine pin to a concrete registry name — the one rule.
+
+    Precedence (highest first): explicit ``engine`` pin, the deprecated
+    ``REPRO_BACKEND`` environment variable, ``profile.backend``, the process
+    default engine.  See the module docstring for the full rationale.
+    """
+    pinned = engine_name(engine)
+    if pinned is not None:
+        return pinned
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env:
+        warn_deprecated(
+            "the REPRO_BACKEND environment variable is deprecated; pin an "
+            "engine explicitly via SimConfig(engine=...)"
+        )
+        return env
+    backend = getattr(profile, "backend", None)
+    if backend:
+        return str(backend)
+    from repro.backend import default_engine
+
+    return default_engine().name
+
+
+def _canonical_pulses(pulses: Any) -> PulsesLike:
+    """Coerce a pulses field into ``None``, a positive int, or an int tuple."""
+    if pulses is None:
+        return None
+    if hasattr(pulses, "as_list"):  # PulseSchedule quacks like this
+        pulses = pulses.as_list()
+    if isinstance(pulses, (list, tuple)):
+        schedule = tuple(int(p) for p in pulses)
+        if not schedule or any(p < 1 for p in schedule):
+            raise ValueError(f"pulse schedule entries must be positive, got {schedule}")
+        return schedule
+    count = int(pulses)
+    if count < 1:
+        raise ValueError(f"num_pulses must be positive, got {count}")
+    return count
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One immutable description of how a model simulates the crossbar.
+
+    Attributes
+    ----------
+    engine:
+        Simulation-engine pin (registry name, or an engine instance which is
+        canonicalised to its name).  ``None`` means engine-agnostic: applying
+        the config leaves layer engines untouched, and resolving it follows
+        :func:`resolve_engine_name`.
+    mode:
+        Forward mode applied to every encoded layer: ``"clean"``, ``"noisy"``
+        or ``"gbo"``.
+    pulses:
+        ``None`` keeps each layer's current pulse count; an int applies a
+        uniform count; a tuple (or :class:`~repro.core.schedule.PulseSchedule`)
+        applies a per-layer schedule and must match the layer count.
+    noise_sigma:
+        Per-pulse crossbar read-noise standard deviation.
+    sigma_relative_to_fan_in:
+        Interpret sigma per crossbar row rather than as absolute output
+        deviation; ``None`` keeps each layer's current setting.
+    pla_mode:
+        PLA rounding mode (``"toward_extremes"`` / ``"nearest"``); ``None``
+        keeps each layer's current setting.
+    seed:
+        Seed policy: when set, entering a :class:`~repro.sim.Session` calls
+        :func:`repro.utils.seed.seed_everything` with it, so the run's
+        stochastic stream is part of the config's identity.  ``None`` leaves
+        seeding to the caller (the scenario runner seeds from spec hashes).
+    """
+
+    engine: Optional[str] = None
+    mode: str = "clean"
+    pulses: PulsesLike = None
+    noise_sigma: float = 0.0
+    sigma_relative_to_fan_in: Optional[bool] = None
+    pla_mode: Optional[str] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", engine_name(self.engine))
+        if self.mode not in FORWARD_MODES:
+            raise ValueError(f"unknown forward mode {self.mode!r}; expected one of {FORWARD_MODES}")
+        object.__setattr__(self, "pulses", _canonical_pulses(self.pulses))
+        sigma = float(self.noise_sigma)
+        if sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {sigma}")
+        object.__setattr__(self, "noise_sigma", sigma)
+        if self.sigma_relative_to_fan_in is not None:
+            object.__setattr__(self, "sigma_relative_to_fan_in", bool(self.sigma_relative_to_fan_in))
+        if self.pla_mode is not None and self.pla_mode not in PLA_MODES:
+            raise ValueError(f"unknown PLA rounding mode {self.pla_mode!r}; expected one of {PLA_MODES}")
+        if self.seed is not None:
+            object.__setattr__(self, "seed", int(self.seed))
+
+    # ------------------------------------------------------------------
+    # Identity / serialisation
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form (the hashed payload)."""
+        return {
+            "version": CONFIG_VERSION,
+            "engine": self.engine,
+            "mode": self.mode,
+            "pulses": list(self.pulses) if isinstance(self.pulses, tuple) else self.pulses,
+            "noise_sigma": self.noise_sigma,
+            "sigma_relative_to_fan_in": self.sigma_relative_to_fan_in,
+            "pla_mode": self.pla_mode,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimConfig":
+        """Rebuild a config from :meth:`as_dict` output."""
+        return cls(
+            engine=payload.get("engine"),
+            mode=payload.get("mode", "clean"),
+            pulses=payload.get("pulses"),
+            noise_sigma=payload.get("noise_sigma", 0.0),
+            sigma_relative_to_fan_in=payload.get("sigma_relative_to_fan_in"),
+            pla_mode=payload.get("pla_mode"),
+            seed=payload.get("seed"),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON text; ``from_json`` round-trips bit-identically."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimConfig":
+        return cls.from_dict(json.loads(text))
+
+    @cached_property
+    def hash(self) -> str:
+        """Stable content hash — identical across processes and platforms."""
+        return stable_hash(self.as_dict())
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_changes(self, **changes: Any) -> "SimConfig":
+        """A copy of the config with selected fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def for_profile(cls, profile, **changes: Any) -> "SimConfig":
+        """A config carrying a profile's engine and noise conventions.
+
+        Resolves the engine through the one precedence rule (so the result
+        is fully concrete and hash-stable) and adopts the profile's
+        ``noise_relative_to_fan_in`` convention; ``changes`` override any
+        field on top.
+        """
+        base = cls(
+            engine=resolve_engine_name(None, profile),
+            sigma_relative_to_fan_in=getattr(profile, "noise_relative_to_fan_in", None),
+        )
+        return base.with_changes(**changes) if changes else base
+
+    def resolved_engine(self, profile: Any = None) -> str:
+        """This config's concrete engine name under the one precedence rule."""
+        return resolve_engine_name(self.engine, profile)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.optim import SGD, MilestoneFractionLR
+from repro.sim import SimConfig, apply_config
 from repro.training.trainer import Trainer, TrainingConfig
 
 
@@ -50,7 +51,7 @@ def pretrain_model(
     Returns the per-epoch history produced by the :class:`Trainer`.
     """
     config = config or PretrainConfig()
-    model.set_mode("clean")
+    apply_config(model, SimConfig(mode="clean"))
     optimizer = SGD(
         model.parameters(),
         lr=config.learning_rate,

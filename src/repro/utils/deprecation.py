@@ -1,0 +1,22 @@
+"""Deprecation plumbing for the pre-``repro.sim`` configuration surface.
+
+The library migrated from four competing engine-selection mechanisms and
+imperative per-layer mutation (``set_mode`` / ``set_noise`` / ``set_pulses``)
+to one immutable :class:`repro.sim.SimConfig` applied through
+:class:`repro.sim.Session`.  The old entry points keep working bit-identically
+but emit :class:`DeprecationWarning` through this helper so migrations can be
+found with ``python -W error::DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(message: str, stacklevel: int = 3) -> None:
+    """Emit a :class:`DeprecationWarning` pointing at the caller's caller.
+
+    ``stacklevel=3`` attributes the warning to the code invoking the
+    deprecated public API (one frame above the shim that calls this helper).
+    """
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)

@@ -1,0 +1,29 @@
+"""Stable content hashing shared by the sim configs and the scenario runner.
+
+Both :class:`repro.sim.SimConfig` and
+:class:`repro.experiments.runner.spec.ScenarioSpec` derive their identity
+from the same canonicalisation: JSON with sorted keys, hashed with SHA-256.
+Keeping the implementation in one place guarantees the two layers can never
+disagree about what a payload hashes to — the scenario store keys, the
+per-scenario RNG seeds and the sim-config hashes all rest on these two
+functions being pure and process-independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def stable_hash(payload: Any, length: int = 16) -> str:
+    """Hex digest of a JSON-canonicalised payload (stable across processes)."""
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
+
+
+def stable_seed(payload: Any) -> int:
+    """A 31-bit RNG seed derived from a JSON-canonicalised payload."""
+    text = json.dumps(payload, sort_keys=True, default=str)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1)

@@ -1,0 +1,46 @@
+"""CI smoke tests: the CLI and the benchmark-gate checker must run clean.
+
+Fast (< seconds) subprocess checks wired into the ``-m "not slow"`` loop,
+so a broken import chain, a CLI regression, or a failing committed
+benchmark artifact is caught before the slow suites run.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _run(args, **env_extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_extra)
+    return subprocess.run(
+        args, capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=120
+    )
+
+
+def test_experiments_list_runs_clean():
+    result = _run([sys.executable, "-m", "repro.experiments", "list"])
+    assert result.returncode == 0, result.stderr
+    for identifier in ("fig1b", "fig2", "table1", "table2", "ablation_gamma"):
+        assert identifier in result.stdout
+
+
+def test_experiments_gc_dry_run_runs_clean(tmp_path):
+    result = _run(
+        [sys.executable, "-m", "repro.experiments", "gc", "--dry-run"],
+        REPRO_CACHE_DIR=str(tmp_path),
+    )
+    assert result.returncode == 0, result.stderr
+    assert "live spec hash" in result.stdout
+
+
+def test_check_bench_gates_runs_clean():
+    result = _run([sys.executable, os.path.join("benchmarks", "check_bench_gates.py")])
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK" in result.stdout or "ok" in result.stdout.lower()

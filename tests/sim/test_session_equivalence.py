@@ -1,0 +1,338 @@
+"""Acceptance tests for the Session path vs the deprecated mutation paths.
+
+The contract: the deprecated configuration surfaces — ``REPRO_BACKEND``,
+per-call ``engine=`` / ``gbo_engine=`` keywords, and direct ``set_mode`` /
+``set_noise`` / ``set_pulses`` mutation — keep working **bit-identically**
+to the new ``SimConfig`` + ``Session`` path, and every one of them emits a
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.gbo import GBOConfig, GBOTrainer
+from repro.models import CrossbarMLP
+from repro.sim import SimConfig, Session, apply_config, configure
+from repro.tensor import Tensor
+from repro.tensor.random import RandomState
+from repro.training.evaluate import noisy_accuracy
+from repro.utils.seed import seed_everything
+
+
+def _model():
+    return CrossbarMLP(in_features=24, hidden_sizes=(16, 16), num_classes=4, rng=RandomState(5))
+
+
+def _batch():
+    return RandomState(3).uniform(-1.0, 1.0, size=(8, 24))
+
+
+def _loader():
+    from repro.data import DataLoader, TensorDataset
+
+    rng = RandomState(7)
+    inputs = np.tanh(rng.normal(size=(48, 24)))
+    labels = rng.randint(0, 4, size=48)
+    return DataLoader(TensorDataset(inputs, labels), batch_size=16, shuffle=False)
+
+
+def _legacy(call, *args, **kwargs):
+    """Run a deprecated call with its warning silenced (we test it elsewhere)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return call(*args, **kwargs)
+
+
+class TestSessionMechanics:
+    def test_apply_and_restore(self):
+        model = _model()
+        layer = model.encoded_layers()[0]
+        config = SimConfig(
+            engine="reference", mode="noisy", pulses=12, noise_sigma=2.0,
+            sigma_relative_to_fan_in=True, pla_mode="nearest",
+        )
+        with Session(model, config):
+            assert layer.mode == "noisy"
+            assert layer.num_pulses == 12
+            assert layer.noise_sigma == 2.0
+            assert layer.sigma_relative_to_fan_in is True
+            assert layer.pla_mode == "nearest"
+            assert layer.engine.name == "reference"
+        assert layer.mode == "clean"
+        assert layer.num_pulses == 8
+        assert layer.noise_sigma == 0.0
+        assert layer.sigma_relative_to_fan_in is False
+        assert layer.pla_mode == "toward_extremes"
+        assert layer._engine is None  # back to tracking the process default
+
+    def test_restores_on_exception(self):
+        model = _model()
+        with pytest.raises(RuntimeError):
+            with configure(model, SimConfig(mode="noisy", noise_sigma=1.0)):
+                raise RuntimeError("boom")
+        assert all(l.mode == "clean" and l.noise_sigma == 0.0 for l in model.encoded_layers())
+
+    def test_apply_is_atomic_on_bad_schedule(self):
+        """A config that fails validation must not leave partial state."""
+        model = _model()
+        bad = SimConfig(mode="noisy", pulses=(8, 8, 8), noise_sigma=3.0)  # model has 2 layers
+        with pytest.raises(ValueError):
+            apply_config(model, bad)
+        assert all(l.mode == "clean" and l.noise_sigma == 0.0 for l in model.encoded_layers())
+
+    def test_apply_is_atomic_on_gbo_without_logits(self):
+        model = _model()
+        with pytest.raises(ValueError):
+            apply_config(model, SimConfig(mode="gbo", noise_sigma=1.0))
+        assert all(l.mode == "clean" and l.noise_sigma == 0.0 for l in model.encoded_layers())
+
+    def test_apply_is_atomic_on_unknown_engine(self):
+        model = _model()
+        with pytest.raises(KeyError):
+            apply_config(model, SimConfig(engine="warpdrive", noise_sigma=1.0))
+        assert all(l.noise_sigma == 0.0 for l in model.encoded_layers())
+
+    def test_single_layer_target(self):
+        model = _model()
+        target = model.encoded_layers()[1]
+        with configure(target, SimConfig(mode="noisy", pulses=10, noise_sigma=1.5)):
+            assert target.mode == "noisy" and target.num_pulses == 10
+            others = [l for l in model.encoded_layers() if l is not target]
+            assert all(l.mode == "clean" for l in others)
+        assert target.mode == "clean" and target.num_pulses == 8
+
+    def test_seed_policy(self):
+        model = _model()
+        with Session(model, SimConfig(mode="noisy", noise_sigma=2.0, seed=99)):
+            first = model(Tensor(_batch())).data.copy()
+        with Session(model, SimConfig(mode="noisy", noise_sigma=2.0, seed=99)):
+            second = model(Tensor(_batch())).data.copy()
+        np.testing.assert_array_equal(first, second)
+
+
+class TestBitIdentity:
+    """Deprecated paths and the Session path must agree sample-for-sample."""
+
+    def test_forward_logits_match_direct_setters(self):
+        config = SimConfig(mode="noisy", pulses=(12, 10), noise_sigma=2.5,
+                           sigma_relative_to_fan_in=False)
+
+        old_model = _model()
+        from repro.core.schedule import PulseSchedule
+
+        _legacy(old_model.set_mode, "noisy")
+        _legacy(old_model.set_noise, 2.5, relative_to_fan_in=False)
+        _legacy(old_model.set_schedule, PulseSchedule([12, 10]))
+        seed_everything(123)
+        old_logits = old_model(Tensor(_batch())).data.copy()
+
+        new_model = _model()
+        with Session(new_model, config.with_changes(seed=123)):
+            new_logits = new_model(Tensor(_batch())).data.copy()
+
+        np.testing.assert_array_equal(old_logits, new_logits)
+
+    def test_noisy_accuracy_legacy_kwargs_match_sim(self):
+        from repro.core.schedule import PulseSchedule
+
+        loader = _loader()
+        seed_everything(7)
+        legacy = _legacy(
+            noisy_accuracy,
+            _model(), loader, sigma=2.0, schedule=PulseSchedule([10, 8]),
+            num_repeats=2, engine="reference",
+        )
+        seed_everything(7)
+        modern = noisy_accuracy(
+            _model(), loader, num_repeats=2,
+            sim=SimConfig(engine="reference", mode="noisy", pulses=(10, 8), noise_sigma=2.0),
+        )
+        assert legacy == modern
+
+    def test_gbo_engine_kwarg_matches_sim_config(self):
+        def run(**trainer_kwargs):
+            seed_everything(42)
+            model = _model()
+            apply_config(model, SimConfig(mode="clean", noise_sigma=3.0))
+            for index, layer in enumerate(model.encoded_layers()):
+                layer.noise_rng = RandomState(1000 + index)
+            trainer = _legacy(
+                GBOTrainer, model, GBOConfig(epochs=1, learning_rate=0.05), **trainer_kwargs
+            )
+            return trainer.train(_loader())
+
+        legacy = run(engine="reference")
+        modern = run(sim=SimConfig(engine="reference"))
+        assert legacy.schedule.as_list() == modern.schedule.as_list()
+        for a, b in zip(legacy.alphas, modern.alphas):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(legacy.logits, modern.logits):
+            np.testing.assert_array_equal(a, b)
+
+    def test_noisy_accuracy_accepts_unregistered_engine_instance(self):
+        """The legacy engine= kwarg pinned instances directly; ad-hoc
+        (unregistered) engines must keep working and must actually be used."""
+        from repro.backend import VectorizedEngine
+
+        class CountingEngine(VectorizedEngine):
+            name = "counting-eval"
+
+            def __init__(self):
+                self.folded_reads = 0
+
+            def folded_read_noise(self, shape, sigma, num_pulses, rng):
+                self.folded_reads += 1
+                return super().folded_read_noise(shape, sigma, num_pulses, rng)
+
+        model = _model()
+        engine = CountingEngine()
+        accuracy = _legacy(
+            noisy_accuracy, model, _loader(), sigma=2.0, num_repeats=1, engine=engine
+        )
+        assert 0.0 <= accuracy <= 100.0
+        assert engine.folded_reads > 0
+        # The pin was session-scoped: layers track the default again.
+        assert all(l._engine is None for l in model.encoded_layers())
+
+    def test_driver_sim_with_non_engine_fields_is_rejected(self):
+        """A driver cannot honour a custom noise/pulse config — it must
+        refuse loudly instead of silently running (and caching) defaults."""
+        from repro.experiments.table1 import resolve_driver_engines
+
+        with pytest.raises(ValueError, match="beyond an engine pin"):
+            resolve_driver_engines(None, None, SimConfig(noise_sigma=9.0), None)
+        with pytest.raises(ValueError, match="beyond an engine pin"):
+            resolve_driver_engines(None, None, None, SimConfig(pulses=4))
+        # An engine-only config passes.
+        assert resolve_driver_engines(None, None, SimConfig(engine="reference"), None) == (
+            "reference",
+            None,
+        )
+
+    def test_repro_backend_env_matches_engine_pin(self, monkeypatch):
+        from repro.experiments.common import build_model
+        from repro.experiments.profiles import get_profile
+
+        profile = get_profile("smoke")
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_env = build_model(profile)
+        monkeypatch.delenv("REPRO_BACKEND")
+        via_config = build_model(profile.with_overrides(backend="reference"))
+        assert [l.engine.name for l in via_env.encoded_layers()] == [
+            l.engine.name for l in via_config.encoded_layers()
+        ] == ["reference"] * via_env.num_encoded_layers()
+
+
+class TestDeprecationWarnings:
+    """Every old path must announce itself."""
+
+    def test_layer_setters_warn(self):
+        layer = _model().encoded_layers()[0]
+        with pytest.warns(DeprecationWarning, match="set_mode"):
+            layer.set_mode("noisy")
+        with pytest.warns(DeprecationWarning, match="set_pulses"):
+            layer.set_pulses(10)
+        with pytest.warns(DeprecationWarning, match="set_noise"):
+            layer.set_noise(1.0)
+        with pytest.warns(DeprecationWarning, match="set_engine"):
+            layer.set_engine("reference")
+
+    def test_model_setters_warn(self):
+        from repro.core.schedule import PulseSchedule
+
+        model = _model()
+        with pytest.warns(DeprecationWarning, match="set_mode"):
+            model.set_mode("noisy")
+        with pytest.warns(DeprecationWarning, match="set_noise"):
+            model.set_noise(1.0)
+        with pytest.warns(DeprecationWarning, match="set_engine"):
+            model.set_engine("reference")
+        with pytest.warns(DeprecationWarning, match="set_schedule"):
+            model.set_schedule(PulseSchedule([8, 8]))
+
+    def test_noisy_accuracy_engine_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="engine"):
+            noisy_accuracy(_model(), _loader(), sigma=1.0, engine="reference")
+
+    def test_gbo_trainer_engine_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="engine"):
+            GBOTrainer(_model(), GBOConfig(epochs=1), engine="reference")
+
+    def test_driver_engine_kwargs_warn(self):
+        from repro.experiments.table1 import resolve_driver_engines
+
+        with pytest.warns(DeprecationWarning, match="engine="):
+            assert resolve_driver_engines("reference", None, None, None) == ("reference", None)
+        with pytest.warns(DeprecationWarning, match="gbo_engine="):
+            assert resolve_driver_engines(None, "vectorized", None, None) == (None, "vectorized")
+
+    def test_repro_backend_env_warns(self, monkeypatch):
+        from repro.sim import resolve_engine_name
+
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        with pytest.warns(DeprecationWarning, match="REPRO_BACKEND"):
+            resolve_engine_name(None, None)
+
+
+class TestScenarioSpecSimIdentity:
+    """Spec identity incorporates the config hash without moving default hashes."""
+
+    def test_default_grids_have_no_sim_payload(self):
+        from repro.experiments.profiles import get_profile
+        from repro.experiments.table1 import table1_grid
+
+        for spec in table1_grid(get_profile("smoke")):
+            assert "sim" not in spec.as_dict()
+            assert spec.sim == ()
+
+    def test_explicit_sim_config_extends_identity(self):
+        from repro.experiments.runner.spec import ScenarioSpec
+
+        default = ScenarioSpec.create("table1", method="Baseline", sigma=4.0, pulses=8)
+        pinned = ScenarioSpec.create(
+            "table1", method="Baseline", sigma=4.0, pulses=8,
+            sim=SimConfig(pla_mode="nearest"),
+        )
+        assert "sim" in pinned.as_dict()
+        assert pinned.hash != default.hash
+        clone = ScenarioSpec.from_dict(pinned.as_dict())
+        assert clone == pinned and clone.hash == pinned.hash
+        assert clone.sim_config() == SimConfig(pla_mode="nearest")
+
+    def test_sim_engine_conflict_rejected(self):
+        from repro.experiments.runner.spec import ScenarioSpec
+
+        with pytest.raises(ValueError):
+            ScenarioSpec.create(
+                "table1", engine="vectorized", sim=SimConfig(engine="reference")
+            )
+
+    def test_pin_grid_engine_updates_attached_sim_payload(self):
+        from repro.experiments.registry import pin_grid_engine
+        from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec
+
+        spec = ScenarioSpec.create(
+            "table1", method="Baseline", sigma=4.0, pulses=8,
+            sim=SimConfig(engine="vectorized", pla_mode="nearest"),
+        )
+        pinned = next(iter(pin_grid_engine(ScenarioGrid(name="g", specs=(spec,)), "reference")))
+        assert pinned.engine == "reference"
+        assert pinned.sim_config().engine == "reference"
+        assert pinned.sim_config().pla_mode == "nearest"
+
+    def test_derived_config_follows_spec_engine(self):
+        from repro.experiments.profiles import get_profile
+        from repro.experiments.table1 import table1_grid
+
+        profile = get_profile("smoke")
+        grid = table1_grid(profile, engine="reference")
+        for spec in grid:
+            config = spec.sim_config(profile)
+            assert config.engine == "reference"
+            assert config.mode == "clean"

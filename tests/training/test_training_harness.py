@@ -147,14 +147,18 @@ class TestEvaluation:
         evaluate_accuracy(model, eval_loader)
         assert model.training
 
-    def test_noisy_accuracy_configures_model(self, tiny_loaders):
+    def test_noisy_accuracy_restores_model_state(self, tiny_loaders):
+        """The evaluation runs in a Session: the model's previous simulation
+        state (clean mode, default pulses) is restored afterwards."""
         _, test_loader = tiny_loaders
         model = CrossbarMLP(3 * 8 * 8, hidden_sizes=(16, 16), rng=RandomState(1))
+        before = model.current_schedule().as_list()
         schedule = PulseSchedule([12, 16])
         accuracy = noisy_accuracy(model, test_loader, sigma=2.0, schedule=schedule, num_repeats=2)
         assert 0.0 <= accuracy <= 100.0
-        assert model.current_schedule().as_list() == [12, 16]
-        assert all(layer.mode == "noisy" for layer in model.encoded_layers())
+        assert model.current_schedule().as_list() == before
+        assert all(layer.mode == "clean" for layer in model.encoded_layers())
+        assert all(layer.noise_sigma == 0.0 for layer in model.encoded_layers())
 
     def test_noisy_accuracy_invalid_repeats(self, tiny_loaders):
         _, test_loader = tiny_loaders
