@@ -10,7 +10,11 @@ any recorded ``speedup`` is below its recorded ``min_required_speedup``:
 
 The gates travel inside the artifacts themselves (each benchmark records
 the bar it asserted), so this script never drifts from the benchmarks; it
-only refuses silently-missing artifacts via ``REQUIRED_ARTIFACTS``.
+only refuses silently-missing artifacts via ``REQUIRED_ARTIFACTS``.  For
+``BENCH_gbo.json`` the workload block must additionally declare the compute
+dtype it was measured at (``compute_dtype`` in ``VALID_COMPUTE_DTYPES``) —
+a float32 number and a float64 number are not comparable, so an artifact
+that does not say which it is fails the gate.
 
 Usage::
 
@@ -30,6 +34,15 @@ from typing import Dict, List, Tuple
 
 #: Artifacts that must exist — a deleted artifact must not pass the gate run.
 REQUIRED_ARTIFACTS = ("BENCH_engine.json", "BENCH_gbo.json", "BENCH_runner.json")
+
+#: Valid values for a recorded compute dtype (the process dtype policy).
+VALID_COMPUTE_DTYPES = ("float32", "float64")
+
+#: Artifacts whose workload block must declare its compute dtype.  The GBO
+#: artifact is gated on a float32 vectorized run vs a float64 reference
+#: oracle, so an artifact that does not say which dtype it measured is not
+#: comparable across commits.
+DTYPE_REQUIRED_ARTIFACTS = ("BENCH_gbo.json",)
 
 DEFAULT_RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
@@ -67,6 +80,16 @@ def check_gates(results_dir: str = DEFAULT_RESULTS_DIR) -> Tuple[List[str], List
         detail = ""
         if "gated_on" in record:
             detail = f"  (gated on: {record['gated_on']}, cpus={record.get('usable_cpus', '?')})"
+        workload = record.get("workload")
+        if name in DTYPE_REQUIRED_ARTIFACTS:
+            dtype = (workload or {}).get("compute_dtype")
+            if dtype not in VALID_COMPUTE_DTYPES:
+                failures.append(
+                    f"{name}: workload.compute_dtype is {dtype!r}, expected one "
+                    f"of {VALID_COMPUTE_DTYPES}"
+                )
+            else:
+                detail += f"  (compute_dtype: {dtype})"
         lines.append(f"  [{status}] {name:<22} speedup {speedup:7.1f}x  gate >= {gate:.0f}x{detail}")
         if speedup < gate:
             failures.append(f"{name}: recorded speedup {speedup:.2f}x below gate {gate:.2f}x")

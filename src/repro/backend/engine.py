@@ -151,6 +151,38 @@ class SimulationEngine:
         """
         raise NotImplementedError
 
+    def plan_gbo_noise(
+        self,
+        counts: Sequence[int],
+        rng: RandomState,
+    ) -> list:
+        """Materialise several layers' GBO mixture draws in one RNG call.
+
+        ``counts[i]`` is the number of standard-normal samples layer ``i``
+        will consume from ``rng`` during one optimisation step (its Eq. 5
+        mixture is ``|Omega| * prod(output_shape)`` samples; zero when the
+        layer's sigma is 0).  Returns one flat array per count.
+
+        Because numpy's ``Generator`` yields identical values whether ``n``
+        normals come from one call or from several consecutive calls, the
+        single batched draw is *sample-exact* with respect to the per-layer
+        draws it replaces — golden schedules and cross-engine equivalence
+        are preserved bit for bit at float64.  Engines may override this to
+        realise the plan differently (the reference engine draws literally
+        per layer); all realisations must consume ``rng`` identically.
+        """
+        counts = [int(count) for count in counts]
+        total = sum(counts)
+        if total == 0:
+            return [np.empty(0) for _ in counts]
+        flat = np.asarray(rng.normal(0.0, 1.0, size=total)).reshape(-1)
+        buffers = []
+        cursor = 0
+        for count in counts:
+            buffers.append(flat[cursor : cursor + count])
+            cursor += count
+        return buffers
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

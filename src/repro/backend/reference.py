@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.backend.engine import SimulationEngine, register_engine
 from repro.tensor import Tensor
+from repro.tensor.dtype import resolve_dtype
 from repro.tensor.random import RandomState
 
 if TYPE_CHECKING:  # avoid a circular import: crossbar -> core -> backend
@@ -54,7 +55,7 @@ class ReferenceEngine(SimulationEngine):
         pulses = int(num_pulses)
         if pulses != num_pulses or pulses < 1:
             return rng.normal(0.0, sigma / np.sqrt(float(num_pulses)), size=shape)
-        total = np.zeros(shape, dtype=np.float64)
+        total = np.zeros(shape, dtype=resolve_dtype())
         for _ in range(pulses):
             total += rng.normal(0.0, sigma, size=shape)
         return total / float(pulses)
@@ -90,6 +91,17 @@ class ReferenceEngine(SimulationEngine):
             term = alphas[option_index] * (read + eps)
             total = term if total is None else total + term
         return total
+
+    def plan_gbo_noise(self, counts, rng: RandomState) -> list:
+        # The plan executed literally: one draw per layer, in forward order —
+        # exactly the samples the un-planned per-layer mixture would consume.
+        # numpy's Generator splits a draw bit-identically across calls, so
+        # this oracle realisation equals the vectorized engine's single
+        # batched draw sample for sample.
+        return [
+            np.asarray(rng.normal(0.0, 1.0, size=int(count))).reshape(-1)
+            for count in counts
+        ]
 
 
 REFERENCE_ENGINE = register_engine(ReferenceEngine())

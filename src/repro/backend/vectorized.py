@@ -135,7 +135,10 @@ class VectorizedEngine(SimulationEngine):
         shape: Tuple[int, ...],
         rng: RandomState,
     ) -> Tensor:
-        scales_arr = np.asarray(scales, dtype=np.float64)
+        # Derive the dtype from the softmax weights (which follow the
+        # compute-dtype policy) — a hard-coded float64 here would silently
+        # upcast the whole (k, N) mixture on the float32 path.
+        scales_arr = np.asarray(scales, dtype=alphas.data.dtype)
         num_options = scales_arr.size
         eps = rng.normal(0.0, 1.0, size=(num_options,) + tuple(shape))
         # Fold the per-candidate scale into the mixture weight (k scalars)

@@ -45,6 +45,7 @@ from repro.quant.activation import ActivationQuantizer
 from repro.quant.qat import QuantConv2d, QuantLinear
 from repro.tensor import Tensor
 from repro.tensor import functional as F
+from repro.tensor.dtype import resolve_dtype
 from repro.tensor.functional import softmax
 from repro.tensor.random import RandomState, default_rng
 from repro.utils.deprecation import warn_deprecated
@@ -194,7 +195,7 @@ class EncodedLayerMixin:
     def gbo_expected_latency(self) -> Tensor:
         """Differentiable expected pulse count ``sum_k alpha_k n_k p`` (Eq. 6)."""
         alphas = self.gbo_alphas()
-        counts = Tensor(np.asarray(self.gbo_space.pulse_counts, dtype=np.float64))
+        counts = Tensor(np.asarray(self.gbo_space.pulse_counts, dtype=resolve_dtype()))
         return (alphas * counts).sum()
 
     def gbo_selected_pulses(self) -> int:
@@ -406,7 +407,7 @@ class EncodedLinear(QuantLinear, EncodedLayerMixin):
         folded path has the same statistics.
         """
         quantised_levels = self.act_quantizer.levels
-        values = np.clip(np.asarray(x, dtype=np.float64), -1.0, 1.0)
+        values = np.clip(np.asarray(x, dtype=resolve_dtype()), -1.0, 1.0)
         steps = quantised_levels - 1
         values = np.round((values + 1.0) * 0.5 * steps) / steps * 2.0 - 1.0
         if self.num_pulses != self.base_pulses:

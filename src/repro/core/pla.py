@@ -18,6 +18,8 @@ from typing import Literal
 
 import numpy as np
 
+from repro.tensor.dtype import resolve_dtype
+
 RoundingMode = Literal["toward_extremes", "nearest"]
 
 
@@ -40,7 +42,7 @@ def pla_positive_counts(
     """
     if num_pulses < 1:
         raise ValueError(f"num_pulses must be positive, got {num_pulses}")
-    values = np.clip(np.asarray(values, dtype=np.float64), -1.0, 1.0)
+    values = np.clip(np.asarray(values, dtype=resolve_dtype()), -1.0, 1.0)
     exact = (values + 1.0) * 0.5 * num_pulses
     if mode == "nearest":
         counts = np.round(exact)
@@ -60,7 +62,7 @@ def pla_approximate(
     by :func:`pla_positive_counts`.
     """
     counts = pla_positive_counts(values, num_pulses, mode=mode)
-    return 2.0 * counts.astype(np.float64) / float(num_pulses) - 1.0
+    return 2.0 * counts.astype(resolve_dtype()) / float(num_pulses) - 1.0
 
 
 def pla_approximation_error(
@@ -68,7 +70,7 @@ def pla_approximation_error(
 ) -> float:
     """Mean absolute difference between the input and its PLA representation."""
     approx = pla_approximate(values, num_pulses, mode=mode)
-    return float(np.mean(np.abs(np.asarray(values, dtype=np.float64) - approx)))
+    return float(np.mean(np.abs(np.asarray(values, dtype=resolve_dtype()) - approx)))
 
 
 def activation_grid(levels: int) -> np.ndarray:

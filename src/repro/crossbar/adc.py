@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.dtype import resolve_dtype
+
 
 class ADC:
     """Uniform ADC quantising outputs in ``[-full_scale, full_scale]``.
@@ -37,7 +39,7 @@ class ADC:
 
     def convert(self, values: np.ndarray) -> np.ndarray:
         """Quantise ``values`` to the ADC grid with saturation."""
-        values = np.clip(np.asarray(values, dtype=np.float64), -self.full_scale, self.full_scale)
+        values = np.clip(np.asarray(values, dtype=resolve_dtype()), -self.full_scale, self.full_scale)
         steps = self.num_levels - 1
         normalised = (values + self.full_scale) / (2.0 * self.full_scale)
         quantised = np.round(normalised * steps) / steps
@@ -54,7 +56,7 @@ class IdealADC(ADC):
         super().__init__(bits=1, full_scale=1.0)
 
     def convert(self, values: np.ndarray) -> np.ndarray:
-        return np.asarray(values, dtype=np.float64)
+        return np.asarray(values, dtype=resolve_dtype())
 
     def __repr__(self) -> str:
         return "IdealADC()"

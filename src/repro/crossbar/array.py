@@ -7,6 +7,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.tensor.dtype import resolve_dtype
+
 from repro.crossbar.adc import ADC, IdealADC
 from repro.crossbar.dac import DAC, IdealDAC
 from repro.crossbar.device import ConductanceMapper, DeviceConfig
@@ -65,7 +67,7 @@ class CrossbarArray:
     ):
         self.config = config or CrossbarConfig()
         self._rng = rng or default_rng()
-        weights = np.asarray(binary_weights, dtype=np.float64)
+        weights = np.asarray(binary_weights, dtype=resolve_dtype())
         if weights.ndim != 2:
             raise ValueError(f"crossbar weights must be 2-D, got shape {weights.shape}")
         self.out_features, self.in_features = weights.shape
@@ -122,7 +124,7 @@ class CrossbarArray:
         rng:
             Override the crossbar's random state for the noise draw.
         """
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=resolve_dtype())
         if inputs.shape[-1] != self.in_features:
             raise ValueError(
                 f"input feature dimension {inputs.shape[-1]} does not match "

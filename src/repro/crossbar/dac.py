@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.dtype import resolve_dtype
+
 
 class DAC:
     """Uniform DAC quantising inputs in ``[-v_ref, v_ref]`` to ``bits`` bits."""
@@ -30,7 +32,7 @@ class DAC:
 
     def convert(self, values: np.ndarray) -> np.ndarray:
         """Quantise ``values`` to the DAC grid (clipping to ``[-v_ref, v_ref]``)."""
-        values = np.clip(np.asarray(values, dtype=np.float64), -self.v_ref, self.v_ref)
+        values = np.clip(np.asarray(values, dtype=resolve_dtype()), -self.v_ref, self.v_ref)
         steps = self.num_levels - 1
         normalised = (values + self.v_ref) / (2.0 * self.v_ref)
         quantised = np.round(normalised * steps) / steps
@@ -47,7 +49,7 @@ class IdealDAC(DAC):
         super().__init__(bits=1, v_ref=v_ref)
 
     def convert(self, values: np.ndarray) -> np.ndarray:
-        return np.clip(np.asarray(values, dtype=np.float64), -self.v_ref, self.v_ref)
+        return np.clip(np.asarray(values, dtype=resolve_dtype()), -self.v_ref, self.v_ref)
 
     def __repr__(self) -> str:
         return f"IdealDAC(v_ref={self.v_ref})"
@@ -60,7 +62,7 @@ class BinaryPulseDAC(DAC):
         super().__init__(bits=1, v_ref=v_ref)
 
     def convert(self, values: np.ndarray) -> np.ndarray:
-        values = np.asarray(values, dtype=np.float64)
+        values = np.asarray(values, dtype=resolve_dtype())
         return np.where(values >= 0, self.v_ref, -self.v_ref)
 
     def __repr__(self) -> str:

@@ -19,6 +19,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.tensor.dtype import resolve_dtype
+
 from repro.tensor.random import RandomState, default_rng
 
 
@@ -76,12 +78,12 @@ class ConductanceMapper:
             Conductance arrays of the same shape, including programming
             variation if configured.
         """
-        weights = np.asarray(binary_weights, dtype=np.float64)
+        weights = np.asarray(binary_weights, dtype=resolve_dtype())
         if not np.all(np.isin(weights, (-1.0, 1.0))):
             raise ValueError("binary crossbar can only store weights in {-1, +1}")
         cfg = self.config
-        g_pos = np.where(weights > 0, cfg.g_on, cfg.g_off).astype(np.float64)
-        g_neg = np.where(weights > 0, cfg.g_off, cfg.g_on).astype(np.float64)
+        g_pos = np.where(weights > 0, cfg.g_on, cfg.g_off).astype(resolve_dtype())
+        g_neg = np.where(weights > 0, cfg.g_off, cfg.g_on).astype(resolve_dtype())
         if cfg.programming_variation > 0:
             g_pos = g_pos * self._variation(g_pos.shape)
             g_neg = g_neg * self._variation(g_neg.shape)

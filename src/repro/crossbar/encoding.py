@@ -22,6 +22,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.tensor.dtype import resolve_dtype
+
 
 @dataclass
 class PulseTrain:
@@ -86,31 +88,35 @@ class ThermometerEncoder:
         Lets the vectorized backend fold a whole train analytically
         (``sum_i w_i pulse_i`` has noise scale ``||w||_2``).
         """
-        return np.full(self.num_pulses, 1.0 / self.num_pulses)
+        return np.full(self.num_pulses, 1.0 / self.num_pulses, dtype=resolve_dtype())
 
     def positive_counts(self, values: np.ndarray) -> np.ndarray:
         """Number of +1 pulses used for each value."""
-        values = np.asarray(values, dtype=np.float64)
+        values = np.asarray(values, dtype=resolve_dtype())
         counts = np.round((np.clip(values, -1.0, 1.0) + 1.0) * 0.5 * self.num_pulses)
         return np.clip(counts, 0, self.num_pulses).astype(np.int64)
 
     def represented_values(self, values: np.ndarray) -> np.ndarray:
         """The values actually conveyed after encoding (round-trip)."""
         counts = self.positive_counts(values)
-        return 2.0 * counts.astype(np.float64) / self.num_pulses - 1.0
+        return 2.0 * counts.astype(resolve_dtype()) / self.num_pulses - 1.0
 
     def encode(self, values: np.ndarray) -> PulseTrain:
         """Encode values into a :class:`PulseTrain` of shape ``(p, *shape)``."""
-        values = np.asarray(values, dtype=np.float64)
+        values = np.asarray(values, dtype=resolve_dtype())
         counts = self.positive_counts(values)
         # Pulse i is +1 while i < count, else -1 (classic thermometer layout).
         indices = np.arange(self.num_pulses).reshape((self.num_pulses,) + (1,) * values.ndim)
-        pulses = np.where(indices < counts[None, ...], 1.0, -1.0)
+        # np.where with python-float branches always yields float64; cast to
+        # the policy dtype (free at the float64 default: astype(copy=False)).
+        pulses = np.where(indices < counts[None, ...], 1.0, -1.0).astype(
+            resolve_dtype(), copy=False
+        )
         return PulseTrain(pulses=pulses, weights=self.accumulation_weights)
 
     def quantisation_error(self, values: np.ndarray) -> np.ndarray:
         """Absolute error between the input and its encoded representation."""
-        return np.abs(np.asarray(values, dtype=np.float64) - self.represented_values(values))
+        return np.abs(np.asarray(values, dtype=resolve_dtype()) - self.represented_values(values))
 
     def __repr__(self) -> str:
         return f"ThermometerEncoder(num_pulses={self.num_pulses})"
@@ -143,7 +149,7 @@ class BitSlicingEncoder:
     @property
     def pulse_weights(self) -> np.ndarray:
         """Accumulation weights ``2^i / (2^bits - 1)`` for ``i = 0..bits-1``."""
-        powers = 2.0 ** np.arange(self.bits)
+        powers = 2.0 ** np.arange(self.bits, dtype=resolve_dtype())
         return powers / powers.sum()
 
     @property
@@ -153,7 +159,7 @@ class BitSlicingEncoder:
 
     def level_index(self, values: np.ndarray) -> np.ndarray:
         """Quantised level index in ``[0, 2^bits - 1]`` for each value."""
-        values = np.asarray(values, dtype=np.float64)
+        values = np.asarray(values, dtype=resolve_dtype())
         max_level = self.levels - 1
         levels = np.round((np.clip(values, -1.0, 1.0) + 1.0) * 0.5 * max_level)
         return np.clip(levels, 0, max_level).astype(np.int64)
@@ -162,20 +168,20 @@ class BitSlicingEncoder:
         """The values actually conveyed after encoding (round-trip)."""
         levels = self.level_index(values)
         max_level = self.levels - 1
-        return 2.0 * levels.astype(np.float64) / max_level - 1.0
+        return 2.0 * levels.astype(resolve_dtype()) / max_level - 1.0
 
     def encode(self, values: np.ndarray) -> PulseTrain:
         """Encode values into a :class:`PulseTrain` of shape ``(bits, *shape)``."""
-        values = np.asarray(values, dtype=np.float64)
+        values = np.asarray(values, dtype=resolve_dtype())
         levels = self.level_index(values)
         bit_positions = np.arange(self.bits).reshape((self.bits,) + (1,) * values.ndim)
         bits = (levels[None, ...] >> bit_positions) & 1
-        pulses = np.where(bits > 0, 1.0, -1.0)
+        pulses = np.where(bits > 0, 1.0, -1.0).astype(resolve_dtype(), copy=False)
         return PulseTrain(pulses=pulses, weights=self.pulse_weights)
 
     def quantisation_error(self, values: np.ndarray) -> np.ndarray:
         """Absolute error between the input and its encoded representation."""
-        return np.abs(np.asarray(values, dtype=np.float64) - self.represented_values(values))
+        return np.abs(np.asarray(values, dtype=resolve_dtype()) - self.represented_values(values))
 
     def __repr__(self) -> str:
         return f"BitSlicingEncoder(bits={self.bits})"

@@ -29,6 +29,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.tensor.dtype import resolve_dtype
+
 from repro.crossbar.array import CrossbarArray
 from repro.crossbar.encoding import BitSlicingEncoder, ThermometerEncoder
 from repro.crossbar.tiling import TiledCrossbar
@@ -116,8 +118,8 @@ def folded_noisy_mvm(
     if num_pulses <= 0:
         raise ValueError(f"num_pulses must be positive, got {num_pulses}")
     rng = rng or default_rng()
-    values = np.asarray(values, dtype=np.float64)
-    weights = np.asarray(weights, dtype=np.float64)
+    values = np.asarray(values, dtype=resolve_dtype())
+    weights = np.asarray(weights, dtype=resolve_dtype())
     output = values @ weights.T
     if sigma > 0:
         effective_std = sigma / np.sqrt(float(num_pulses))

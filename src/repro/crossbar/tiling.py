@@ -14,6 +14,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.tensor.dtype import resolve_dtype
+
 from repro.crossbar.array import CrossbarArray, CrossbarConfig
 from repro.tensor.random import RandomState, default_rng
 
@@ -29,7 +31,7 @@ class TiledCrossbar:
     ):
         self.config = config or CrossbarConfig()
         self._rng = rng or default_rng()
-        weights = np.asarray(binary_weights, dtype=np.float64)
+        weights = np.asarray(binary_weights, dtype=resolve_dtype())
         if weights.ndim != 2:
             raise ValueError(f"crossbar weights must be 2-D, got shape {weights.shape}")
         self.out_features, self.in_features = weights.shape
@@ -73,7 +75,7 @@ class TiledCrossbar:
         single matmul; computed lazily and cached (tiles are immutable).
         """
         if self._assembled is None:
-            full = np.zeros((self.out_features, self.in_features), dtype=np.float64)
+            full = np.zeros((self.out_features, self.in_features), dtype=resolve_dtype())
             for col_index, (col_start, col_end) in enumerate(self._col_splits):
                 for row_index, (row_start, row_end) in enumerate(self._row_splits):
                     full[col_start:col_end, row_start:row_end] = self._tiles[col_index][
@@ -94,16 +96,16 @@ class TiledCrossbar:
         whole pulse train ``(num_pulses, batch, in_features)`` — and performs
         exactly one :meth:`CrossbarArray.read_batch` call per physical tile.
         """
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=resolve_dtype())
         if inputs.shape[-1] != self.in_features:
             raise ValueError(
                 f"input feature dimension {inputs.shape[-1]} does not match "
                 f"crossbar rows {self.in_features}"
             )
         batch_shape = inputs.shape[:-1]
-        output = np.zeros(batch_shape + (self.out_features,), dtype=np.float64)
+        output = np.zeros(batch_shape + (self.out_features,), dtype=resolve_dtype())
         for col_index, (col_start, col_end) in enumerate(self._col_splits):
-            accumulator = np.zeros(batch_shape + (col_end - col_start,), dtype=np.float64)
+            accumulator = np.zeros(batch_shape + (col_end - col_start,), dtype=resolve_dtype())
             for row_index, (row_start, row_end) in enumerate(self._row_splits):
                 tile = self._tiles[col_index][row_index]
                 accumulator += tile.read_batch(

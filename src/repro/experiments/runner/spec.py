@@ -252,11 +252,14 @@ class ScenarioSpec:
         are returned verbatim.
 
         The derived baseline is deliberately *concrete* (baseline pulse
-        count, paper PLA rounding) rather than "keep current": applying it
-        in :meth:`ScenarioContext.model` must erase whatever a previous
-        scenario — possibly one with an explicitly attached non-default
-        config — left on the shared model, or results would depend on
-        execution order.
+        count, paper PLA rounding, explicit float64 compute dtype) rather
+        than "keep current": applying it in :meth:`ScenarioContext.model`
+        must erase whatever a previous scenario — possibly one with an
+        explicitly attached non-default config — left on the shared model
+        or the process dtype policy, or results would depend on execution
+        order.  The explicit dtype never enters the hashed payload: derived
+        configs are a pure function of the hashed spec fields and are never
+        serialised into it.
         """
         if self.sim:
             return SimConfig.from_dict(dict(self.sim))
@@ -269,6 +272,7 @@ class ScenarioSpec:
             pulses=base_pulses,
             sigma_relative_to_fan_in=getattr(profile, "noise_relative_to_fan_in", None),
             pla_mode="toward_extremes",
+            dtype="float64",
         )
 
     @cached_property

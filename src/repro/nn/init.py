@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.tensor import Tensor
+from repro.tensor.dtype import resolve_dtype
 from repro.tensor.random import RandomState, default_rng
 
 
@@ -66,17 +67,17 @@ def xavier_uniform(shape: Tuple[int, ...], gain: float = 1.0, rng: Optional[Rand
 
 def zeros(shape: Tuple[int, ...]) -> np.ndarray:
     """All-zero initialisation (used for biases and BN shift)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=resolve_dtype())
 
 
 def ones(shape: Tuple[int, ...]) -> np.ndarray:
     """All-one initialisation (used for BN scale)."""
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=resolve_dtype())
 
 
 def constant(shape: Tuple[int, ...], value: float) -> np.ndarray:
     """Constant initialisation."""
-    return np.full(shape, float(value), dtype=np.float64)
+    return np.full(shape, float(value), dtype=resolve_dtype())
 
 
 def normal(shape: Tuple[int, ...], std: float = 0.01, rng: Optional[RandomState] = None) -> np.ndarray:

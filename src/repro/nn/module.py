@@ -14,6 +14,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.tensor import Tensor
+from repro.tensor.dtype import resolve_dtype
 
 
 class Parameter(Tensor):
@@ -62,7 +63,7 @@ class Module:
         the caller's state mapping, and in-place updates (BN running stats
         during training) would silently corrupt that "saved" state.
         """
-        self._buffers[name] = np.array(value, dtype=np.float64, copy=True)
+        self._buffers[name] = np.array(value, dtype=resolve_dtype(), copy=True)
         object.__setattr__(self, name, self._buffers[name])
 
     def register_parameter(self, name: str, param: Parameter) -> None:
@@ -77,7 +78,7 @@ class Module:
 
     def _update_buffer(self, name: str, value: np.ndarray) -> None:
         """Replace the contents of a registered buffer (copying, see above)."""
-        self._buffers[name] = np.array(value, dtype=np.float64, copy=True)
+        self._buffers[name] = np.array(value, dtype=resolve_dtype(), copy=True)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.tensor import Tensor
+from repro.tensor.dtype import resolve_dtype
 
 
 def quantize_uniform(x: Tensor, levels: int = 9) -> Tensor:
@@ -44,7 +45,7 @@ def levels_to_pulses(values: np.ndarray, num_pulses: int) -> np.ndarray:
 
 def pulses_to_levels(positive_counts: np.ndarray, num_pulses: int) -> np.ndarray:
     """Convert positive-pulse counts back to the represented ``[-1, 1]`` value."""
-    counts = np.asarray(positive_counts, dtype=np.float64)
+    counts = np.asarray(positive_counts, dtype=resolve_dtype())
     return 2.0 * counts / float(num_pulses) - 1.0
 
 

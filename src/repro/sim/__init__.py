@@ -13,6 +13,12 @@ The public surface is three names plus the engine-resolution rule:
 * :func:`resolve_engine_name` — THE engine-resolution precedence rule that
   replaced the four competing selection mechanisms (see
   :mod:`repro.sim.config` for the rule's definition).
+
+``SimConfig(dtype=...)`` additionally scopes the process compute-dtype
+policy (:mod:`repro.tensor.dtype`): float64 is the bit-identical default,
+float32 the opt-in raw-speed path; a :class:`Session` restores the previous
+policy on exit.  The dtype joins the hashed identity only when set, so every
+pre-existing config hash is unchanged.
 """
 
 from repro.sim.config import (

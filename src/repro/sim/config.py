@@ -37,6 +37,7 @@ from dataclasses import dataclass, replace
 from functools import cached_property
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+from repro.tensor.dtype import canonical_dtype_name
 from repro.utils.deprecation import warn_deprecated
 from repro.utils.hashing import stable_hash
 
@@ -147,6 +148,15 @@ class SimConfig:
         :func:`repro.utils.seed.seed_everything` with it, so the run's
         stochastic stream is part of the config's identity.  ``None`` leaves
         seeding to the caller (the scenario runner seeds from spec hashes).
+    dtype:
+        Compute-dtype policy (``"float64"`` / ``"float32"``): when set,
+        applying the config installs it as the process compute dtype (see
+        :mod:`repro.tensor.dtype`) and a :class:`~repro.sim.Session` restores
+        the previous policy on exit.  ``None`` keeps the current policy and —
+        exactly like an unset ``sim`` on a scenario spec — stays out of the
+        hashed payload, so every pre-existing config hash is unchanged.
+        ``"float32"`` trades bit-exactness for raw speed: results are
+        tolerance-comparable to float64, never bit-identical.
     """
 
     engine: Optional[str] = None
@@ -156,6 +166,7 @@ class SimConfig:
     sigma_relative_to_fan_in: Optional[bool] = None
     pla_mode: Optional[str] = None
     seed: Optional[int] = None
+    dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", engine_name(self.engine))
@@ -172,13 +183,21 @@ class SimConfig:
             raise ValueError(f"unknown PLA rounding mode {self.pla_mode!r}; expected one of {PLA_MODES}")
         if self.seed is not None:
             object.__setattr__(self, "seed", int(self.seed))
+        if self.dtype is not None:
+            object.__setattr__(self, "dtype", canonical_dtype_name(self.dtype))
 
     # ------------------------------------------------------------------
     # Identity / serialisation
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, Any]:
-        """Canonical JSON-serialisable form (the hashed payload)."""
-        return {
+        """Canonical JSON-serialisable form (the hashed payload).
+
+        The ``dtype`` key joins the payload only when the policy is set:
+        the float64 default is the historical behaviour, and omitting it
+        keeps every pre-existing config hash (and thus store key and
+        scenario identity) bit-identical.
+        """
+        payload = {
             "version": CONFIG_VERSION,
             "engine": self.engine,
             "mode": self.mode,
@@ -188,6 +207,9 @@ class SimConfig:
             "pla_mode": self.pla_mode,
             "seed": self.seed,
         }
+        if self.dtype is not None:
+            payload["dtype"] = self.dtype
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SimConfig":
@@ -200,6 +222,7 @@ class SimConfig:
             sigma_relative_to_fan_in=payload.get("sigma_relative_to_fan_in"),
             pla_mode=payload.get("pla_mode"),
             seed=payload.get("seed"),
+            dtype=payload.get("dtype"),
         )
 
     def to_json(self) -> str:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence
 
 from repro.sim.config import SimConfig
+from repro.tensor.dtype import compute_dtype_name, set_compute_dtype
 from repro.utils.seed import seed_everything
 
 
@@ -137,6 +138,11 @@ def apply_config(target: Any, config: SimConfig, profile: Any = None) -> None:
         if config.pla_mode is not None:
             layer._apply_pla_mode(config.pla_mode)
         layer._apply_mode(config.mode)
+    if config.dtype is not None:
+        # Process-wide by design: the compute dtype governs every array the
+        # library materialises, not just this target's layers.  Session
+        # restores the previous policy on exit.
+        set_compute_dtype(config.dtype)
 
 
 class Session:
@@ -158,13 +164,16 @@ class Session:
         self.config = config
         self.profile = profile
         self._saved: Optional[List[_LayerSimState]] = None
+        self._saved_dtype: Optional[str] = None
 
     def __enter__(self):
         saved = capture_sim_state(self.target)
+        saved_dtype = compute_dtype_name()
         # apply_config validates before mutating, so a failing enter leaves
         # the target exactly as it was and nothing needs restoring.
         apply_config(self.target, self.config, self.profile)
         self._saved = saved
+        self._saved_dtype = saved_dtype
         if self.config.seed is not None:
             seed_everything(self.config.seed)
         return self.target
@@ -173,6 +182,9 @@ class Session:
         if self._saved is not None:
             restore_sim_state(self.target, self._saved)
             self._saved = None
+        if self._saved_dtype is not None:
+            set_compute_dtype(self._saved_dtype)
+            self._saved_dtype = None
         return False
 
 

@@ -13,6 +13,14 @@ while staying pure numpy so the whole reproduction runs offline on a CPU.
 
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
 from repro.tensor import functional
+from repro.tensor.dtype import (
+    DEFAULT_COMPUTE_DTYPE,
+    compute_dtype,
+    compute_dtype_name,
+    compute_dtype_scope,
+    resolve_dtype,
+    set_compute_dtype,
+)
 from repro.tensor.grad_check import numerical_gradient, check_gradients
 from repro.tensor.random import RandomState, default_rng, manual_seed
 
@@ -26,4 +34,10 @@ __all__ = [
     "RandomState",
     "default_rng",
     "manual_seed",
+    "DEFAULT_COMPUTE_DTYPE",
+    "compute_dtype",
+    "compute_dtype_name",
+    "compute_dtype_scope",
+    "resolve_dtype",
+    "set_compute_dtype",
 ]

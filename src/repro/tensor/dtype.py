@@ -1,0 +1,103 @@
+"""Process-level compute-dtype policy (float64 default, float32 opt-in).
+
+Every float array the library materialises — tensor storage, gradients,
+weight initialisation, RNG draws, crossbar conductances, im2col buffers —
+resolves its dtype through this module instead of hard-coding ``float64``.
+The policy is a single process-wide value:
+
+* ``float64`` (the default) reproduces the historical behaviour *bit for
+  bit*: the default path never changes, so golden schedules, scenario-spec
+  hashes and store keys are untouched.
+* ``float32`` halves the memory bandwidth of every matmul, im2col and noise
+  draw on the simulation hot path.  It is strictly opt-in — through
+  :func:`set_compute_dtype` / :func:`compute_dtype_scope` directly, or
+  declaratively via ``repro.sim.SimConfig(dtype="float32")`` (which joins
+  the config's hashed identity only when set).
+
+At float32 the RNG draws use numpy's single-precision samplers, which
+consume the underlying bit stream differently from the float64 samplers —
+float32 results are therefore *statistically* comparable to float64 ones
+(tolerance-tested), never bit-identical.  Within one dtype both engines
+still agree sample-for-sample.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator
+
+import numpy as np
+
+#: The dtypes the policy accepts, keyed by canonical name.
+COMPUTE_DTYPES = {
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+#: Canonical name of the default policy (the historical behaviour).
+DEFAULT_COMPUTE_DTYPE = "float64"
+
+_COMPUTE_DTYPE = COMPUTE_DTYPES[DEFAULT_COMPUTE_DTYPE]
+
+
+def canonical_dtype_name(dtype: Any) -> str:
+    """Canonical policy name (``"float32"`` / ``"float64"``) of ``dtype``.
+
+    Accepts a name, a numpy dtype, or a numpy scalar type; anything outside
+    the supported compute dtypes is rejected loudly — the policy exists to
+    make dtype decisions explicit, not to silently absorb exotic types.
+    """
+    if isinstance(dtype, str):
+        name = dtype
+    else:
+        name = np.dtype(dtype).name
+    if name not in COMPUTE_DTYPES:
+        raise ValueError(
+            f"unsupported compute dtype {dtype!r}; expected one of "
+            f"{sorted(COMPUTE_DTYPES)}"
+        )
+    return name
+
+
+def compute_dtype() -> np.dtype:
+    """The process-wide compute dtype as a numpy dtype."""
+    return _COMPUTE_DTYPE
+
+
+def compute_dtype_name() -> str:
+    """The process-wide compute dtype's canonical name."""
+    return _COMPUTE_DTYPE.name
+
+
+def set_compute_dtype(dtype: Any) -> np.dtype:
+    """Install a new process-wide compute dtype; returns the previous one.
+
+    Only newly materialised arrays are affected — existing tensors keep
+    their storage.  For an end-to-end float32 run, build the model (and its
+    data) under the policy, e.g. inside :func:`compute_dtype_scope`.
+    """
+    global _COMPUTE_DTYPE
+    previous = _COMPUTE_DTYPE
+    _COMPUTE_DTYPE = COMPUTE_DTYPES[canonical_dtype_name(dtype)]
+    return previous
+
+
+@contextlib.contextmanager
+def compute_dtype_scope(dtype: Any) -> Iterator[np.dtype]:
+    """Scope the compute dtype to a ``with`` block, restoring on exit."""
+    previous = set_compute_dtype(dtype)
+    try:
+        yield _COMPUTE_DTYPE
+    finally:
+        set_compute_dtype(previous)
+
+
+def resolve_dtype(dtype: Any = None) -> np.dtype:
+    """``dtype`` as a numpy dtype, defaulting to the process policy.
+
+    The single resolution rule used by every coercion point in the library:
+    an explicit dtype wins, ``None`` follows the policy.
+    """
+    if dtype is None:
+        return _COMPUTE_DTYPE
+    return np.dtype(dtype)

@@ -12,6 +12,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.tensor.dtype import resolve_dtype
 from repro.tensor.tensor import Tensor
 
 
@@ -63,7 +64,7 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
 def one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:
     """Integer class indices to a one-hot float matrix."""
     targets = np.asarray(targets, dtype=np.int64)
-    out = np.zeros((targets.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((targets.shape[0], num_classes), dtype=resolve_dtype())
     out[np.arange(targets.shape[0]), targets] = 1.0
     return out
 

@@ -18,6 +18,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.tensor.dtype import resolve_dtype
+
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 
@@ -66,10 +68,12 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    # ``dtype=None`` follows the process compute-dtype policy (float64 by
+    # default, float32 opt-in) — see :mod:`repro.tensor.dtype`.
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=resolve_dtype(dtype))
 
 
 class Tensor:
@@ -115,27 +119,30 @@ class Tensor:
     @staticmethod
     def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
         """Return a tensor of zeros with the given shape."""
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+        return Tensor(np.zeros(shape, dtype=resolve_dtype()), requires_grad=requires_grad)
 
     @staticmethod
     def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
         """Return a tensor of ones with the given shape."""
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+        return Tensor(np.ones(shape, dtype=resolve_dtype()), requires_grad=requires_grad)
 
     @staticmethod
     def full(shape: Sequence[int], fill_value: Number, requires_grad: bool = False) -> "Tensor":
         """Return a tensor filled with ``fill_value``."""
-        return Tensor(np.full(shape, float(fill_value)), requires_grad=requires_grad)
+        return Tensor(
+            np.full(shape, float(fill_value), dtype=resolve_dtype()),
+            requires_grad=requires_grad,
+        )
 
     @staticmethod
     def eye(n: int, requires_grad: bool = False) -> "Tensor":
         """Return the ``n x n`` identity matrix."""
-        return Tensor(np.eye(n), requires_grad=requires_grad)
+        return Tensor(np.eye(n, dtype=resolve_dtype()), requires_grad=requires_grad)
 
     @staticmethod
     def from_numpy(array: np.ndarray, requires_grad: bool = False) -> "Tensor":
-        """Wrap an existing numpy array (copied to float64)."""
-        return Tensor(np.asarray(array, dtype=np.float64), requires_grad=requires_grad)
+        """Wrap an existing numpy array (coerced to the policy compute dtype)."""
+        return Tensor(np.asarray(array, dtype=resolve_dtype()), requires_grad=requires_grad)
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -225,7 +232,7 @@ class Tensor:
             # (`self.grad = self.grad + grad`, as below), never by in-place
             # ops like `grad *= scale` or `grad.fill(0)` — those would
             # silently corrupt a sibling's gradient.
-            self.grad = np.asarray(grad, dtype=np.float64)
+            self.grad = np.asarray(grad, dtype=self.data.dtype)
         else:
             self.grad = self.grad + grad
 
@@ -251,7 +258,7 @@ class Tensor:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
         ordered = self._topological_order()
-        grads = {id(self): np.array(grad, dtype=np.float64)}
+        grads = {id(self): np.array(grad, dtype=self.data.dtype)}
         self._accumulate(grads[id(self)])
         for node in ordered:
             node_grad = grads.pop(id(node), None)
@@ -538,12 +545,12 @@ class Tensor:
 
         def _backward(grad: np.ndarray) -> None:
             if axis is None:
-                mask = (self.data == self.data.max()).astype(np.float64)
+                mask = (self.data == self.data.max()).astype(self.data.dtype)
                 mask /= mask.sum()
                 self._accumulate(grad * mask)
                 return
             expanded_value = self.data.max(axis=axis, keepdims=True)
-            mask = (self.data == expanded_value).astype(np.float64)
+            mask = (self.data == expanded_value).astype(self.data.dtype)
             mask /= mask.sum(axis=axis, keepdims=True)
             expanded = grad if keepdims else np.expand_dims(grad, axis=axis)
             self._accumulate(mask * expanded)
@@ -695,7 +702,7 @@ class Tensor:
         binary-weight and multi-level activation quantisers: the forward pass
         sees the quantised values while gradients flow through unchanged.
         """
-        new_data = np.asarray(new_data, dtype=np.float64)
+        new_data = np.asarray(new_data, dtype=self.data.dtype)
         if new_data.shape != self.shape:
             raise ValueError(
                 f"with_data expects matching shapes, got {new_data.shape} vs {self.shape}"

@@ -40,6 +40,7 @@ class TestIdentity:
             base.with_changes(sigma_relative_to_fan_in=True),
             base.with_changes(pla_mode="nearest"),
             base.with_changes(seed=7),
+            base.with_changes(dtype="float32"),
         ):
             assert changed.hash != base.hash
 
@@ -147,3 +148,112 @@ class TestEngineResolutionRule:
         config = SimConfig.for_profile(get_profile("fast"), mode="noisy", noise_sigma=5.0)
         assert config.engine == "vectorized"
         assert config.mode == "noisy"
+
+
+class TestDtypeField:
+    """``dtype`` joins the hashed identity only when set.
+
+    The default (``dtype=None``, float64 compute) must hash exactly as it
+    did before the field existed — store keys, seeds and golden artifacts
+    all depend on it.
+    """
+
+    def test_default_dtype_is_none_and_absent_from_payload(self):
+        config = SimConfig(mode="noisy", noise_sigma=3.0, pulses=8)
+        assert config.dtype is None
+        assert "dtype" not in config.as_dict()
+
+    def test_set_dtype_enters_payload_and_round_trips(self):
+        config = SimConfig(mode="noisy", noise_sigma=3.0, pulses=8, dtype="float32")
+        assert config.as_dict()["dtype"] == "float32"
+        clone = SimConfig.from_json(config.to_json())
+        assert clone.dtype == "float32"
+        assert clone.hash == config.hash
+
+    def test_dtype_canonicalises(self):
+        import numpy as np
+
+        assert SimConfig(dtype=np.float32).dtype == "float32"
+        assert SimConfig(dtype=np.dtype(np.float64)).dtype == "float64"
+
+    def test_dtype_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(dtype="float16")
+        with pytest.raises((TypeError, ValueError)):
+            SimConfig(dtype="bogus")
+
+    def test_session_applies_and_restores_dtype(self):
+        from repro.models import CrossbarMLP
+        from repro.sim import Session
+        from repro.tensor import compute_dtype_name
+        from repro.tensor.random import RandomState
+
+        model = CrossbarMLP(in_features=8, hidden_sizes=(4,), num_classes=2, rng=RandomState(0))
+        config = SimConfig(mode="noisy", noise_sigma=1.0, pulses=8, dtype="float32")
+        with Session(model, config):
+            assert compute_dtype_name() == "float32"
+        assert compute_dtype_name() == "float64"
+
+    def test_session_restores_dtype_on_exception(self):
+        from repro.models import CrossbarMLP
+        from repro.sim import Session
+        from repro.tensor import compute_dtype_name
+        from repro.tensor.random import RandomState
+
+        model = CrossbarMLP(in_features=8, hidden_sizes=(4,), num_classes=2, rng=RandomState(0))
+        config = SimConfig(mode="noisy", noise_sigma=1.0, pulses=8, dtype="float32")
+        with pytest.raises(RuntimeError):
+            with Session(model, config):
+                raise RuntimeError("boom")
+        assert compute_dtype_name() == "float64"
+
+
+class TestPinnedBaselineHashes:
+    """Hashes recorded before the dtype field existed — must never move.
+
+    These literals were captured from the pre-dtype tree; a change here
+    means every store key and seeded scenario in the wild silently shifts.
+    """
+
+    def test_default_config_hash(self):
+        assert SimConfig().hash == "ed77cea35ad60ec9"
+
+    def test_rich_config_hash(self):
+        config = SimConfig(
+            engine="vectorized",
+            mode="noisy",
+            pulses=(10, 12),
+            noise_sigma=5.5,
+            sigma_relative_to_fan_in=False,
+            pla_mode="toward_extremes",
+            seed=2022,
+        )
+        assert config.hash == "5945d8a60f307214"
+
+    def test_scenario_spec_hash(self):
+        from repro.experiments.runner import ScenarioSpec
+
+        spec = ScenarioSpec.create(
+            "table1",
+            method="GBO-long",
+            profile="fast",
+            sigma=5.0,
+            gamma=1e-3,
+            engine="vectorized",
+            seed=1234,
+        )
+        assert spec.hash == "0b3a282b9e194012"
+
+    def test_scenario_spec_with_sim_hash(self):
+        from repro.experiments.runner import ScenarioSpec
+
+        spec = ScenarioSpec.create(
+            "table1",
+            method="GBO-long",
+            profile="fast",
+            sigma=5.0,
+            gamma=1e-3,
+            seed=1234,
+            sim=SimConfig(engine="reference", mode="noisy", noise_sigma=3.0),
+        )
+        assert spec.hash == "84429f11741e8068"
