@@ -6,7 +6,8 @@ any recorded ``speedup`` is below its recorded ``min_required_speedup``:
 
 * ``BENCH_engine.json`` — vectorized vs reference pulsed-MVM (gate >= 10x),
 * ``BENCH_gbo.json``    — vectorized vs reference GBO step    (gate >= 5x),
-* ``BENCH_runner.json`` — scenario-runner suite wall-clock    (gate >= 2x).
+* ``BENCH_runner.json`` — scenario-runner suite wall-clock    (gate >= 2x),
+* ``BENCH_serve.json``  — serve cache-hit vs cold latency     (gate >= 50x).
 
 The gates travel inside the artifacts themselves (each benchmark records
 the bar it asserted), so this script never drifts from the benchmarks; it
@@ -33,7 +34,12 @@ import sys
 from typing import Dict, List, Tuple
 
 #: Artifacts that must exist — a deleted artifact must not pass the gate run.
-REQUIRED_ARTIFACTS = ("BENCH_engine.json", "BENCH_gbo.json", "BENCH_runner.json")
+REQUIRED_ARTIFACTS = (
+    "BENCH_engine.json",
+    "BENCH_gbo.json",
+    "BENCH_runner.json",
+    "BENCH_serve.json",
+)
 
 #: Valid values for a recorded compute dtype (the process dtype policy).
 VALID_COMPUTE_DTYPES = ("float32", "float64")
@@ -41,8 +47,9 @@ VALID_COMPUTE_DTYPES = ("float32", "float64")
 #: Artifacts whose workload block must declare its compute dtype.  The GBO
 #: artifact is gated on a float32 vectorized run vs a float64 reference
 #: oracle, so an artifact that does not say which dtype it measured is not
-#: comparable across commits.
-DTYPE_REQUIRED_ARTIFACTS = ("BENCH_gbo.json",)
+#: comparable across commits; the serve artifact records latencies of a
+#: dtype-dependent simulation, so the same rule applies.
+DTYPE_REQUIRED_ARTIFACTS = ("BENCH_gbo.json", "BENCH_serve.json")
 
 DEFAULT_RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 

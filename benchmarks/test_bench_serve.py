@@ -1,0 +1,194 @@
+"""Benchmark E9 — serving latency: cold vs coalesced vs cache-hit.
+
+Drives a **live** ``python -m repro.serve`` subprocess (the real deployment
+shape: spawned CLI, ephemeral port, JSON-lines TCP) against the fast
+profile and measures the three request classes the server exists for:
+
+* **cold** — first-ever evaluation of a config: loads the pre-trained
+  model from the checkpoint cache and runs the simulation;
+* **coalesced** — K concurrent identical requests while the evaluation is
+  in flight: exactly ONE simulation runs (the server's coalescing counter
+  proves it), the other K-1 share its result;
+* **cache-hit** — an identical request re-submitted after completion:
+  answered from the content-addressed result store without rebuilding or
+  touching any model (the pool's load counter proves it).
+
+The gate rides the cache-hit path: answering a repeated request must be at
+least ``MIN_SPEEDUP`` x faster than computing it cold.  The artifact
+``benchmarks/results/BENCH_serve.json`` records all three latencies, the
+coalescing evidence and the compute dtype the simulation ran at.
+"""
+
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+from benchmarks.conftest import emit_report
+from repro.experiments.common import ensure_checkpoint_on_disk
+from repro.serve import EvalRequest
+
+MIN_SPEEDUP = 50.0
+COALESCE_CLIENTS = 4
+SIGMA_COLD = 5.0
+SIGMA_COALESCE = 10.0
+
+
+def _rpc(address, message, timeout=600.0):
+    with socket.create_connection(address, timeout=timeout) as sock:
+        stream = sock.makefile("rw", encoding="utf-8")
+        stream.write(json.dumps(message) + "\n")
+        stream.flush()
+        return json.loads(stream.readline())
+
+
+def _eval_payload(profile_name, sigma):
+    return {
+        "op": "submit",
+        "profile": profile_name,
+        "sim": {"mode": "noisy", "noise_sigma": sigma},
+        "num_repeats": 1,
+    }
+
+
+def test_serve_latency_cold_coalesced_cached(bundle, capsys, results_dir, tmp_path):
+    profile = bundle.profile
+
+    # Seed a private cache dir with ONLY the pre-trained checkpoint: the
+    # server must cold-load the model (no in-process bundle reuse from this
+    # test process) but never re-pretrain, and its result store starts empty
+    # so the first request is genuinely cold.
+    cache_dir = tmp_path / "serve_cache"
+    cache_dir.mkdir()
+    shutil.copy(ensure_checkpoint_on_disk(bundle), cache_dir)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--cache-dir", str(cache_dir), "--max-models", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        announce = proc.stdout.readline().strip()
+        assert announce.startswith("serving on "), f"bad announce line: {announce!r}"
+        host, port = announce.split()[-1].rsplit(":", 1)
+        address = (host, int(port))
+
+        # ---- cold: model load + simulation ------------------------------
+        start = time.perf_counter()
+        cold = _rpc(address, _eval_payload(profile.name, SIGMA_COLD))
+        cold_s = time.perf_counter() - start
+        assert cold["ok"] and cold["state"] == "done", cold
+        assert cold["origin"] == "executed"
+        cold_accuracy = cold["result"]["accuracy"]
+
+        # ---- coalesced: K concurrent identical requests, 1 simulation ---
+        payload = _eval_payload(profile.name, SIGMA_COALESCE)
+        responses = []
+        lock = threading.Lock()
+
+        def client():
+            response = _rpc(address, payload)
+            with lock:
+                responses.append(response)
+
+        before = _rpc(address, {"op": "stats"})["stats"]["counters"]
+        start = time.perf_counter()
+        threads = [threading.Thread(target=client) for _ in range(COALESCE_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        coalesced_s = time.perf_counter() - start
+        assert len(responses) == COALESCE_CLIENTS
+        assert all(r["ok"] and r["state"] == "done" for r in responses)
+        accuracies = {r["result"]["accuracy"] for r in responses}
+        assert len(accuracies) == 1, "coalesced clients must share one result"
+
+        after = _rpc(address, {"op": "stats"})["stats"]
+        executed_delta = after["counters"]["executed"] - before["executed"]
+        coalesced_delta = after["counters"]["coalesced"] - before["coalesced"]
+        assert executed_delta == 1, (
+            f"{COALESCE_CLIENTS} identical requests ran {executed_delta} "
+            f"simulations; coalescing must collapse them to one"
+        )
+        assert coalesced_delta == COALESCE_CLIENTS - 1
+        models_loaded_before_hit = after["pool"]["models_loaded"]
+
+        # ---- cache-hit: identical resubmit, no model touched ------------
+        start = time.perf_counter()
+        hit = _rpc(address, _eval_payload(profile.name, SIGMA_COLD))
+        hit_s = time.perf_counter() - start
+        assert hit["ok"] and hit["state"] == "done", hit
+        assert hit["result"]["accuracy"] == cold_accuracy
+        final = _rpc(address, {"op": "stats"})["stats"]
+        assert final["counters"]["executed"] == 2  # cold + coalesce group only
+        assert final["pool"]["models_loaded"] == models_loaded_before_hit, (
+            "a repeated request must be answered from the result store "
+            "without rebuilding a model"
+        )
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=15.0)
+
+    speedup = cold_s / hit_s
+    # Mean per-client latency of the coalesced group: K clients paid one
+    # simulation's wall-clock between them, so the group must not take
+    # K times the cold path.
+    coalesced_per_client_s = coalesced_s / COALESCE_CLIENTS
+
+    # The compute dtype the evaluation actually ran at — taken from the
+    # concrete spec identity the facade payload canonicalises to.
+    spec = EvalRequest.from_payload(
+        {"profile": profile.name, "sim": {"mode": "noisy", "noise_sigma": SIGMA_COLD}}
+    ).spec
+    compute_dtype = dict(spec.sim)["dtype"]
+
+    record = {
+        "workload": {
+            "experiment": "api_eval",
+            "profile": profile.name,
+            "server": "python -m repro.serve (subprocess, JSON-lines TCP)",
+            "coalesce_clients": COALESCE_CLIENTS,
+            "compute_dtype": compute_dtype,
+        },
+        "cold_s": cold_s,
+        "coalesced_group_s": coalesced_s,
+        "coalesced_per_client_s": coalesced_per_client_s,
+        "cache_hit_s": hit_s,
+        "coalesced_executions": executed_delta,
+        "coalesced_joined": coalesced_delta,
+        "speedup": speedup,
+        "min_required_speedup": MIN_SPEEDUP,
+    }
+    with open(os.path.join(results_dir, "BENCH_serve.json"), "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    report = "\n".join(
+        [
+            "Serving latency, live `python -m repro.serve` (fast profile)",
+            f"  cold (load + simulate)  : {cold_s:8.3f} s",
+            f"  {COALESCE_CLIENTS} coalesced clients     : {coalesced_s:8.3f} s total "
+            f"({coalesced_per_client_s:.3f} s/client, {executed_delta} simulation)",
+            f"  cache-hit resubmit      : {hit_s:8.3f} s",
+            f"  gate                    : cache-hit >= {MIN_SPEEDUP:.0f}x cold "
+            f"-> {speedup:.1f}x",
+            f"  compute dtype           : {compute_dtype}",
+            "  artifact                : benchmarks/results/BENCH_serve.json",
+        ]
+    )
+    emit_report(capsys, results_dir, "serve_latency", report)
+
+    assert speedup >= MIN_SPEEDUP

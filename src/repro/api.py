@@ -318,6 +318,88 @@ def run_gbo(
     return artifact
 
 
+def eval_scenario_spec(
+    profile: Any,
+    sim: SimConfig,
+    num_repeats: int = 1,
+    seed: Optional[int] = None,
+    method: str = "evaluate",
+):
+    """The :class:`ScenarioSpec` equivalent of one :func:`evaluate` call.
+
+    This is how ``repro.serve`` turns an evaluation request into a
+    content-addressed identity: the profile, the *fully resolved* config
+    and the repeat count all join the spec hash, so identical requests
+    share one store entry and one execution.  The config is made concrete
+    before hashing — the engine pin through the one precedence rule (the
+    engines agree only statistically on noisy reads), and every
+    keep-current field (pulses, noise convention, PLA rounding, dtype)
+    filled from the profile's baseline — because a ``None`` field means
+    "keep the layer's current state", which would make the result depend
+    on whatever ran before it on the shared model.  Executed by
+    :func:`execute_api_eval_scenario`.
+    """
+    from repro.experiments.runner.spec import ScenarioSpec
+
+    if not isinstance(profile, ExperimentProfile):
+        profile = get_profile(profile)
+    if num_repeats < 1:
+        raise ValueError(f"num_repeats must be positive, got {num_repeats}")
+    relative = sim.sigma_relative_to_fan_in
+    resolved = sim.with_changes(
+        engine=sim.resolved_engine(profile),
+        pulses=sim.pulses if sim.pulses is not None else profile.base_pulses,
+        sigma_relative_to_fan_in=(
+            relative if relative is not None else profile.noise_relative_to_fan_in
+        ),
+        pla_mode=sim.pla_mode if sim.pla_mode is not None else "toward_extremes",
+        dtype=sim.dtype if sim.dtype is not None else "float64",
+    )
+    return ScenarioSpec.create(
+        "api_eval",
+        method=method,
+        profile=profile.name,
+        sigma=resolved.noise_sigma if resolved.noise_sigma else None,
+        seed=seed,
+        sim=resolved,
+        num_repeats=int(num_repeats),
+    )
+
+
+def execute_api_eval_scenario(ctx) -> Dict[str, Any]:
+    """Scenario executor for ``api_eval`` specs (see :func:`eval_scenario_spec`).
+
+    Mirrors :func:`evaluate`'s semantics on the runner's determinism
+    contract: the bundle's shared model is reset to the pre-trained
+    snapshot, the spec's attached config is applied inside a
+    :class:`~repro.sim.Session` (restored afterwards, including the
+    compute-dtype policy), and the accuracy of ``num_repeats`` evaluation
+    passes is returned.
+    """
+    spec = ctx.spec
+    num_repeats = int(spec.param("num_repeats", 1))
+    sim = ctx.sim_config()
+    bundle = ctx.bundle
+    model = bundle.model
+    bundle.restore_pretrained()
+    model.requires_grad_(True)
+    with Session(model, sim, ctx.profile):
+        per_repeat = [
+            float(evaluate_accuracy(model, ctx.test_loader))
+            for _ in range(num_repeats)
+        ]
+    apply_config(model, SimConfig(mode="clean"))
+    return {
+        "experiment": "api_eval",
+        "method": spec.method,
+        "accuracy": float(np.mean(per_repeat)),
+        "per_repeat": per_repeat,
+        "num_repeats": num_repeats,
+        "clean_accuracy": float(bundle.clean_accuracy),
+        "sim": sim.as_dict(),
+    }
+
+
 def run_nia(
     state: PipelineState,
     sim: Optional[SimConfig] = None,

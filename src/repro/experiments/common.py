@@ -343,6 +343,18 @@ def ensure_checkpoint_on_disk(bundle: ExperimentBundle) -> str:
     return checkpoint
 
 
+def evict_bundle(token: str) -> bool:
+    """Drop one cached bundle by its profile token; ``True`` if it was cached.
+
+    Lets bounded holders (``repro.serve``'s model pool) actually free the
+    model/data memory on eviction — popping only their own reference while
+    this module-level cache still pins the bundle would make every
+    "eviction" a no-op.  The on-disk checkpoint is untouched, so a later
+    :func:`get_pretrained_bundle` rebuilds cheaply.
+    """
+    return _BUNDLE_CACHE.pop(token, None) is not None
+
+
 def clear_bundle_cache() -> None:
     """Drop all in-process cached bundles (used by tests)."""
     _BUNDLE_CACHE.clear()

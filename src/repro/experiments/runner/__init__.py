@@ -23,12 +23,13 @@ The five experiment drivers (``fig1b``, ``fig2``, ``table1``, ``table2``,
 ``python -m repro.experiments`` for the CLI.
 """
 
-from repro.experiments.runner.executor import GridRunResult, run_grid
+from repro.experiments.runner.executor import GridExecutionError, GridRunResult, run_grid
 from repro.experiments.runner.scenarios import ScenarioContext, execute_scenario, needs_bundle
 from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec
 from repro.experiments.runner.store import MemoryStore, ResultStore, default_store
 
 __all__ = [
+    "GridExecutionError",
     "ScenarioSpec",
     "ScenarioGrid",
     "ResultStore",

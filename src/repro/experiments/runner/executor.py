@@ -52,6 +52,28 @@ LOGGER = get_logger("repro.runner")
 _WORKER_THREAD_ENV = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS")
 
 
+class GridExecutionError(RuntimeError):
+    """One or more scenarios of a parallel grid run failed.
+
+    Raised *after* every completed sibling's result has been persisted to
+    the store, so a failing scenario can never throw away work other
+    workers finished — a resumed run re-executes only the failures.
+    ``failures`` maps each failed spec to the exception it raised.
+    """
+
+    def __init__(self, failures: Dict[ScenarioSpec, BaseException], completed: int):
+        self.failures = failures
+        self.completed = completed
+        detail = "; ".join(
+            f"{spec.label()}: {type(error).__name__}: {error}"
+            for spec, error in failures.items()
+        )
+        super().__init__(
+            f"{len(failures)} scenario(s) failed ({detail}); "
+            f"{completed} completed sibling result(s) were persisted"
+        )
+
+
 @dataclass
 class GridRunResult:
     """Outcome of one :func:`run_grid` call."""
@@ -150,9 +172,20 @@ def _run_parallel(
             initializer=_worker_init,
             initargs=(cache_dir, store_root),
         ) as pool:
-            futures = [pool.submit(_worker_run, spec.as_dict()) for spec in pending]
+            futures = {
+                pool.submit(_worker_run, spec.as_dict()): spec for spec in pending
+            }
+            # Drain EVERY future before raising anything: a scenario failing
+            # in one worker must not discard results siblings already
+            # finished — those are persisted below, so only the failures
+            # need re-executing on resume.
+            failures: Dict[ScenarioSpec, BaseException] = {}
             for future in as_completed(futures):
-                spec_hash, result, elapsed = future.result()
+                try:
+                    spec_hash, result, elapsed = future.result()
+                except Exception as error:
+                    failures[futures[future]] = error
+                    continue
                 spec = by_hash[spec_hash]
                 if store is not None:
                     result = store.put(spec, result)
@@ -168,6 +201,8 @@ def _run_parallel(
                     outcome.executed + outcome.cached,
                     len(outcome.grid),
                 )
+            if failures:
+                raise GridExecutionError(failures, completed=outcome.executed)
     finally:
         for name, value in saved_env.items():
             if value is None:

@@ -30,6 +30,7 @@ bit-identical):
 from __future__ import annotations
 
 import importlib
+import time
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
@@ -59,6 +60,15 @@ _EXECUTORS: Dict[str, Tuple[str, str, bool]] = {
         "repro.experiments.ablations",
         "execute_gamma_scenario",
         True,
+    ),
+    # Facade evaluation as a scenario: the request type behind repro.serve.
+    "api_eval": ("repro.api", "execute_api_eval_scenario", True),
+    # Bundle-free diagnostic scenario (latency/failure injection); used by
+    # the serve layer's health probes and the executor's failure tests.
+    "selftest": (
+        "repro.experiments.runner.scenarios",
+        "execute_selftest_scenario",
+        False,
     ),
 }
 
@@ -237,6 +247,28 @@ class ScenarioContext:
             state = seeded_compute()
         self.reseed()
         return state
+
+
+def execute_selftest_scenario(ctx: "ScenarioContext") -> Dict[str, Any]:
+    """Diagnostic scenario: no bundle, no model — pure spec-derived output.
+
+    Parameters travel as spec params: ``sleep_s`` injects latency, ``fail``
+    raises on demand, ``value`` is echoed back.  The serve layer uses it as
+    a live health probe; the executor tests use it to stage deterministic
+    worker failures and sleeps without pre-training anything.
+    """
+    spec = ctx.spec
+    sleep_s = float(spec.param("sleep_s", 0.0) or 0.0)
+    if sleep_s > 0:
+        time.sleep(sleep_s)
+    if spec.param("fail", False):
+        raise RuntimeError(f"selftest scenario failed on request: {spec.label()}")
+    return {
+        "experiment": "selftest",
+        "method": spec.method,
+        "value": spec.param("value"),
+        "seed": ctx.scenario_seed(),
+    }
 
 
 def execute_scenario(

@@ -23,6 +23,7 @@ corruption.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import time
@@ -158,7 +159,11 @@ class ResultStore:
             ),
             suffix=".tmp.npz",
         )
-        return state
+        # Mirror the load path's copy semantics: a caller mutating the
+        # returned arrays must never alias whatever ``compute`` kept live
+        # (e.g. a model's own parameter arrays) — hit and miss hand out
+        # equally independent state.
+        return {name: np.array(value, copy=True) for name, value in state.items()}
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -229,6 +234,10 @@ class MemoryStore:
     for the duration of one :func:`~repro.experiments.runner.executor.run_grid`
     call, but stages are still shared between the scenarios of that call
     (e.g. Table II computes each sigma's NIA weights once, not three times).
+
+    Copy semantics match :class:`ResultStore`'s JSON round-trip: ``get`` and
+    ``put`` hand out deep copies, so a caller mutating a returned result can
+    never contaminate later cache hits within the call.
     """
 
     def __init__(self):
@@ -239,11 +248,12 @@ class MemoryStore:
         return spec.hash in self._results
 
     def get(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
-        return self._results.get(spec.hash)
+        result = self._results.get(spec.hash)
+        return None if result is None else copy.deepcopy(result)
 
     def put(self, spec: ScenarioSpec, result: Mapping[str, Any]) -> Dict[str, Any]:
         clean = _jsonify(dict(result))
-        self._results[spec.hash] = clean
+        self._results[spec.hash] = copy.deepcopy(clean)
         return clean
 
     def stage_state(
@@ -253,7 +263,11 @@ class MemoryStore:
     ) -> Dict[str, np.ndarray]:
         stage_key = stable_hash(dict(key))
         if stage_key not in self._stages:
-            self._stages[stage_key] = compute()
+            # Store copies: ``compute`` may return arrays still referenced
+            # by live model state, which later training would mutate.
+            self._stages[stage_key] = {
+                name: np.array(value, copy=True) for name, value in compute().items()
+            }
         return {name: np.array(value, copy=True) for name, value in self._stages[stage_key].items()}
 
     def clear(self) -> None:

@@ -1,0 +1,62 @@
+"""``repro.serve`` — simulation-as-a-service over :mod:`repro.api`.
+
+A long-lived concurrent evaluation server for the crossbar simulator: keep
+the pre-trained models warm and answer many evaluation requests instead of
+paying model construction and pre-training per driver invocation.
+
+The whole design rides on one identity: **a request is its scenario spec,
+and the spec's content hash is the request key** (the same hash that keys
+the content-addressed result store).  Identical work is therefore
+recognisable *before* it runs:
+
+* N concurrent identical requests coalesce onto one execution
+  (:mod:`repro.serve.coalescer`) — the other N-1 wait on the shared record;
+* a request whose result is already stored is answered from disk without
+  touching any model (:class:`~repro.serve.server.EvalService`);
+* distinct requests against the same profile share one resident
+  pre-trained model copy, LRU-bounded (:class:`~repro.serve.pool.ModelPool`).
+
+Concurrency model: the asyncio front end (:class:`~repro.serve.server.EvalServer`)
+accepts any number of clients; actual simulation is serialised behind a
+per-process execution lock (:class:`~repro.serve.pool.ExecutionEngine`)
+because the simulator's compute-dtype policy and RNG stream are
+process-global.  Scaling out means processes, not threads — the runner's
+spawn-pool executor is the sanctioned path (see :mod:`repro.serve.pool`).
+
+Run it: ``python -m repro.serve --help``.
+"""
+
+from repro.serve.coalescer import RequestTable
+from repro.serve.pool import ExecutionEngine, ModelPool
+from repro.serve.request import (
+    DONE,
+    FAILED,
+    ORIGIN_CACHE,
+    ORIGIN_EXECUTED,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    EvalRequest,
+    LatencyStat,
+    RequestRecord,
+)
+from repro.serve.server import EvalServer, EvalService, ServeConfig
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "ORIGIN_CACHE",
+    "ORIGIN_EXECUTED",
+    "QUEUED",
+    "REJECTED",
+    "RUNNING",
+    "EvalRequest",
+    "EvalServer",
+    "EvalService",
+    "ExecutionEngine",
+    "LatencyStat",
+    "ModelPool",
+    "RequestRecord",
+    "RequestTable",
+    "ServeConfig",
+]

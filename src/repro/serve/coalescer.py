@@ -1,0 +1,89 @@
+""":class:`RequestTable` — the in-flight/served request map that coalesces work.
+
+The table owns one invariant: **at most one live
+:class:`~repro.serve.request.RequestRecord` per request key**.  Every
+submit goes through :meth:`RequestTable.join_or_create` under one lock, so
+N concurrent identical requests race onto the same record — the first one
+creates it (and gets to enqueue the execution), the other N-1 *join* it and
+simply wait on its completion event.  Keys whose record finished in
+``failed``/``rejected`` are retryable: a resubmit replaces the dead record
+with a fresh one instead of replaying the failure forever.
+
+Finished records are kept (bounded by ``max_history``, oldest evicted
+first) so ``status``/``result`` lookups and repeat submissions of recently
+served keys are answered from memory; evicting a finished record is always
+safe because every *successful* result also lives in the content-addressed
+:class:`~repro.experiments.runner.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, List, Optional, Tuple
+
+from repro.serve.request import RETRYABLE_STATES, EvalRequest, RequestRecord
+
+
+class RequestTable:
+    def __init__(self, max_history: int = 1024):
+        if max_history < 1:
+            raise ValueError(f"max_history must be positive, got {max_history}")
+        self._records: "OrderedDict[str, RequestRecord]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._max_history = max_history
+
+    def join_or_create(
+        self,
+        request: EvalRequest,
+        on_create: Optional[Callable[[RequestRecord], None]] = None,
+    ) -> Tuple[RequestRecord, bool]:
+        """The record for ``request``'s key, creating one if none is live.
+
+        Returns ``(record, created)``.  ``on_create`` runs *inside* the
+        table lock for a freshly created record, so "create the record and
+        hand it to the queue" is atomic with respect to other submitters —
+        two racing identical requests can never both enqueue an execution.
+        """
+        key = request.key
+        with self._lock:
+            record = self._records.get(key)
+            if record is not None and record.state not in RETRYABLE_STATES:
+                self._records.move_to_end(key)
+                return record, False
+            record = RequestRecord(request)
+            self._records[key] = record
+            self._records.move_to_end(key)
+            self._evict_finished_overflow()
+            if on_create is not None:
+                on_create(record)
+            return record, True
+
+    def get(self, key: str) -> Optional[RequestRecord]:
+        with self._lock:
+            return self._records.get(key)
+
+    def keys(self) -> List[str]:
+        """All keys the table currently remembers (live and finished)."""
+        with self._lock:
+            return list(self._records)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return sum(1 for record in self._records.values() if record.is_in_flight())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def _evict_finished_overflow(self) -> None:
+        # Called with the lock held.  Only finished records are evictable:
+        # dropping an in-flight record would break the one-record-per-key
+        # coalescing invariant.
+        if len(self._records) <= self._max_history:
+            return
+        for key in list(self._records):
+            if len(self._records) <= self._max_history:
+                break
+            if self._records[key].is_finished():
+                del self._records[key]

@@ -1,0 +1,145 @@
+"""Model pool and execution engine — the serving back end.
+
+Two concerns live here, deliberately separated from the front end:
+
+:class:`ModelPool`
+    Keeps **one shared pre-trained bundle per distinct profile token**,
+    LRU-bounded by ``max_models``.  Pre-trained weights depend only on the
+    profile (see :func:`repro.experiments.common.profile_token`), so every
+    request configuration against the same profile shares one model copy —
+    the per-request state (sim config, RNG stream) is applied and undone
+    around each execution by the scenario machinery, never baked into the
+    pooled model.  Eviction also drops the bundle from
+    :mod:`repro.experiments.common`'s module-level cache so memory is
+    actually released.
+
+:class:`ExecutionEngine`
+    Runs one scenario at a time behind a per-process ``threading.Lock``.
+    The lock is not an implementation shortcut — it serialises the
+    **process-global** state a simulation touches: the compute-dtype policy
+    (:mod:`repro.tensor.dtype`), the global RNG stream
+    (:func:`repro.utils.seed.seed_everything`), and the shared pooled model
+    itself.  Two scenarios interleaving on those would corrupt each other
+    (see :class:`repro.sim.ConcurrentDtypeError` for the dtype half).
+
+    Scale-out path: true parallel execution already exists in the runner's
+    spawn-pool executor (:func:`repro.experiments.runner.executor.run_grid`
+    with ``workers > 1``), where each worker process owns its own policy,
+    RNG and model.  A multi-worker server dispatches to such a pool instead
+    of calling :meth:`ExecutionEngine.execute` inline; the engine's lock
+    then guards only the parent's occasional in-process executions.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
+
+from repro.experiments.common import evict_bundle, get_pretrained_bundle, profile_token
+from repro.experiments.profiles import get_profile
+from repro.experiments.runner.scenarios import execute_scenario
+from repro.experiments.runner.spec import ScenarioSpec
+from repro.tensor.dtype import compute_dtype_name, set_compute_dtype
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("repro.serve")
+
+
+class ModelPool:
+    """LRU-bounded cache of pre-trained bundles, keyed by profile token."""
+
+    def __init__(
+        self,
+        max_models: int = 2,
+        builder: Optional[Callable[[Any], Any]] = None,
+    ):
+        if max_models < 1:
+            raise ValueError(f"max_models must be positive, got {max_models}")
+        self.max_models = max_models
+        # Injectable for tests (stub bundles instead of real pre-training).
+        self._builder = builder or get_pretrained_bundle
+        self._bundles: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.loads = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def bundle_for(self, spec: ScenarioSpec):
+        """The shared pre-trained bundle for ``spec``'s resolved profile."""
+        profile = get_profile(spec.profile).with_overrides(**spec.override_dict())
+        token = profile_token(profile)
+        with self._lock:
+            if token in self._bundles:
+                self._bundles.move_to_end(token)
+                self.hits += 1
+                return self._bundles[token]
+        # Build outside the pool lock: pre-training/loading can take long and
+        # must not block stats() or unrelated lookups.  The execution lock in
+        # ExecutionEngine already serialises callers, so no duplicate build
+        # races exist in practice; if one happens, last-in wins harmlessly
+        # (both builds come from the same deterministic checkpoint).
+        bundle = self._builder(profile)
+        with self._lock:
+            self._bundles[token] = bundle
+            self._bundles.move_to_end(token)
+            self.loads += 1
+            while len(self._bundles) > self.max_models:
+                evicted_token, _ = self._bundles.popitem(last=False)
+                evict_bundle(evicted_token)
+                self.evictions += 1
+                LOGGER.info("model pool evicted bundle %s", evicted_token)
+        return bundle
+
+    def tokens(self) -> list:
+        with self._lock:
+            return list(self._bundles)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bundles)
+
+    def clear(self) -> None:
+        with self._lock:
+            for token in list(self._bundles):
+                evict_bundle(token)
+            self._bundles.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "models_loaded": self.loads,
+                "model_hits": self.hits,
+                "model_evictions": self.evictions,
+                "models_resident": len(self._bundles),
+            }
+
+
+class ExecutionEngine:
+    """Execute scenarios one at a time, leaving process state as found."""
+
+    def __init__(self, pool: ModelPool, stage_store=None):
+        self.pool = pool
+        self.stage_store = stage_store
+        #: THE execution lock: all process-global mutation (dtype policy,
+        #: RNG seeding, pooled-model configuration) happens while held.
+        self.lock = threading.Lock()
+
+    def execute(self, spec: ScenarioSpec, needs_model: bool) -> Dict[str, Any]:
+        """Run ``spec`` and return its raw result dict.
+
+        The compute-dtype policy is snapshotted and restored around the run:
+        scenario executors may legitimately switch it (``api_eval`` goes
+        through a :class:`~repro.sim.Session`, which restores it itself, but
+        the engine must not rely on every executor being that careful — the
+        server's policy is no residue, ever.
+        """
+        with self.lock:
+            saved_dtype = compute_dtype_name()
+            try:
+                bundle = self.pool.bundle_for(spec) if needs_model else None
+                return execute_scenario(
+                    spec, bundle=bundle, stage_store=self.stage_store
+                )
+            finally:
+                set_compute_dtype(saved_dtype)

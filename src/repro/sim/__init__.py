@@ -30,6 +30,7 @@ from repro.sim.config import (
     resolve_engine_name,
 )
 from repro.sim.session import (
+    ConcurrentDtypeError,
     Session,
     apply_config,
     capture_sim_state,
@@ -41,6 +42,7 @@ __all__ = [
     "CONFIG_VERSION",
     "FORWARD_MODES",
     "PLA_MODES",
+    "ConcurrentDtypeError",
     "SimConfig",
     "Session",
     "apply_config",

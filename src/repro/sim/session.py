@@ -20,12 +20,29 @@ configuration.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.sim.config import SimConfig
-from repro.tensor.dtype import compute_dtype_name, set_compute_dtype
+from repro.tensor.dtype import canonical_dtype_name, compute_dtype_name, set_compute_dtype
 from repro.utils.seed import seed_everything
+
+#: Live dtype-setting sessions: ``id(session) -> canonical dtype name``.
+#: The compute-dtype policy is PROCESS-WIDE (see :mod:`repro.tensor.dtype`),
+#: so two overlapping sessions applying *different* dtypes would silently
+#: clobber each other and the later ``__exit__`` would restore a stale
+#: policy.  Session entry therefore registers its dtype here and refuses a
+#: conflicting overlap loudly; same-dtype nesting stays allowed (restores
+#: are no-ops relative to each other).  The guard is thread-aware because
+#: the sanctioned concurrent path — ``repro.serve``'s worker pool — runs
+#: sessions from worker threads behind the service's execution lock.
+_DTYPE_GUARD = threading.Lock()
+_ACTIVE_DTYPE_SESSIONS: Dict[int, str] = {}
+
+
+class ConcurrentDtypeError(RuntimeError):
+    """Two overlapping sessions tried to apply conflicting compute dtypes."""
 
 
 def encoded_layers_of(target: Any) -> List[Any]:
@@ -165,13 +182,49 @@ class Session:
         self.profile = profile
         self._saved: Optional[List[_LayerSimState]] = None
         self._saved_dtype: Optional[str] = None
+        self._holds_dtype = False
+
+    def _register_dtype(self) -> None:
+        """Claim the process dtype policy for this session, or raise.
+
+        Runs *before* any layer is mutated, so a conflicting overlap leaves
+        both the target and the policy exactly as they were.
+        """
+        if self.config.dtype is None:
+            return
+        requested = canonical_dtype_name(self.config.dtype)
+        with _DTYPE_GUARD:
+            conflicting = sorted(
+                {d for d in _ACTIVE_DTYPE_SESSIONS.values() if d != requested}
+            )
+            if conflicting:
+                raise ConcurrentDtypeError(
+                    f"cannot apply compute dtype {requested!r}: overlapping "
+                    f"session(s) already hold {conflicting} and the policy is "
+                    f"process-wide — overlapping sessions must agree on one "
+                    f"dtype (concurrent serving serialises sessions behind "
+                    f"repro.serve's per-process execution lock)"
+                )
+            _ACTIVE_DTYPE_SESSIONS[id(self)] = requested
+            self._holds_dtype = True
+
+    def _unregister_dtype(self) -> None:
+        if self._holds_dtype:
+            with _DTYPE_GUARD:
+                _ACTIVE_DTYPE_SESSIONS.pop(id(self), None)
+            self._holds_dtype = False
 
     def __enter__(self):
         saved = capture_sim_state(self.target)
         saved_dtype = compute_dtype_name()
-        # apply_config validates before mutating, so a failing enter leaves
-        # the target exactly as it was and nothing needs restoring.
-        apply_config(self.target, self.config, self.profile)
+        self._register_dtype()
+        try:
+            # apply_config validates before mutating, so a failing enter
+            # leaves the target exactly as it was and nothing needs restoring.
+            apply_config(self.target, self.config, self.profile)
+        except BaseException:
+            self._unregister_dtype()
+            raise
         self._saved = saved
         self._saved_dtype = saved_dtype
         if self.config.seed is not None:
@@ -185,6 +238,7 @@ class Session:
         if self._saved_dtype is not None:
             set_compute_dtype(self._saved_dtype)
             self._saved_dtype = None
+        self._unregister_dtype()
         return False
 
 

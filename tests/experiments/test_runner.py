@@ -17,6 +17,7 @@ import pytest
 from repro.experiments.common import clear_bundle_cache, get_cache_dir
 from repro.experiments.profiles import get_profile
 from repro.experiments.runner import (
+    GridExecutionError,
     MemoryStore,
     ResultStore,
     ScenarioGrid,
@@ -97,6 +98,33 @@ class TestResultStore:
         second = store.stage_state({"kind": "t"}, compute)
         assert len(calls) == 1
         assert np.array_equal(first["w"], second["w"])
+
+    def test_memory_store_results_are_isolated_copies(self):
+        """Regression: get/put used to return the cached dict by reference,
+        so a caller mutating its result contaminated later cache hits."""
+        store = MemoryStore()
+        spec = ScenarioSpec.create("selftest", value=1)
+        pristine = {"rows": [1, 2], "nested": {"k": [0.5]}}
+        put_view = store.put(spec, {"rows": [1, 2], "nested": {"k": [0.5]}})
+        put_view["rows"].append(99)
+        put_view["nested"]["k"][0] = -1.0
+        first = store.get(spec)
+        assert first == pristine
+        first["rows"].append(77)
+        first["nested"]["k"].clear()
+        assert store.get(spec) == pristine
+
+    def test_stage_state_compute_path_returns_copies(self, tmp_path):
+        """Regression: the compute path used to hand back ``compute``'s own
+        arrays (the load path copied), so mutating a 'computed' stage could
+        reach state the computation kept live."""
+        store = ResultStore(str(tmp_path / "runner"))
+        live = {"w": np.arange(3.0)}
+        computed = store.stage_state({"kind": "copy"}, lambda: live)
+        computed["w"][0] = 99.0
+        assert live["w"][0] == 0.0
+        reloaded = store.stage_state({"kind": "copy"}, lambda: {"w": np.zeros(1)})
+        assert np.array_equal(reloaded["w"], np.arange(3.0))
 
     def test_memory_store_shares_stages(self):
         store = MemoryStore()
@@ -302,6 +330,30 @@ class TestRunnerEndToEnd:
         assert serial.results == stored.results
         for spec in nia_only:
             assert solo.results[spec.hash] == serial.results[spec.hash]
+
+    def test_failing_scenario_persists_completed_siblings(self, isolated_cache):
+        """Regression: _run_parallel used to abort at the first failed
+        future, so scenarios that *finished* in other workers were never
+        persisted and their work was lost on resume."""
+        ok = tuple(
+            ScenarioSpec.create("selftest", method=f"ok{i}", sleep_s=2.0, value=i)
+            for i in range(2)
+        )
+        # The failing spec goes first and fails instantly, so its future
+        # completes long before the sleeping siblings do.
+        bad = ScenarioSpec.create("selftest", method="boom", fail=True)
+        grid = ScenarioGrid(name="failure_grid", specs=(bad, *ok))
+        with pytest.raises(GridExecutionError) as excinfo:
+            run_grid(grid, workers=2, store=isolated_cache)
+        assert "boom" in str(excinfo.value)
+        assert bad in excinfo.value.failures
+        for spec in ok:
+            assert isolated_cache.get(spec) is not None, (
+                f"completed sibling {spec.label()} was not persisted"
+            )
+        assert isolated_cache.get(bad) is None
+        resumed = run_grid(ScenarioGrid(name="ok_only", specs=ok), store=isolated_cache)
+        assert resumed.cached == len(ok) and resumed.executed == 0
 
     def test_run_experiment_through_registry(self, isolated_cache):
         """The registry entry point assembles the same result the driver does."""

@@ -1,0 +1,220 @@
+"""Socket-protocol and CLI tests for the evaluation server.
+
+The in-process tests run an :class:`EvalServer` on an ephemeral port inside
+a private event-loop thread and speak the JSON-lines protocol over a real
+TCP socket; the CLI test drives ``python -m repro.serve`` as a subprocess,
+which is exactly how a user deploys it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.experiments.runner.store import ResultStore
+from repro.serve import EvalServer, EvalService, ServeConfig
+
+
+def selftest_spec(value=1, **params):
+    return {"experiment": "selftest", "method": "probe",
+            "params": {"value": value, **params}}
+
+
+class ServerHarness:
+    """An EvalServer on an ephemeral port, owned by a background loop thread."""
+
+    def __init__(self, tmp_path):
+        self.service = EvalService(
+            ServeConfig(host="127.0.0.1", port=0, workers=1, default_timeout_s=30.0),
+            store=ResultStore(str(tmp_path / "store")),
+        )
+        self.server = EvalServer(self.service)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+
+    def __enter__(self):
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(self.server.start(), self.loop).result(10.0)
+        self.address = self.server.sockets[0].getsockname()[:2]
+        return self
+
+    def __exit__(self, *exc_info):
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(10.0)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10.0)
+        self.loop.close()
+
+    def connect(self):
+        sock = socket.create_connection(self.address, timeout=30.0)
+        return sock, sock.makefile("rw", encoding="utf-8")
+
+
+@pytest.fixture
+def harness(tmp_path):
+    with ServerHarness(tmp_path) as running:
+        yield running
+
+
+def call(stream, message):
+    stream.write(json.dumps(message) + "\n")
+    stream.flush()
+    line = stream.readline()
+    assert line, "server closed the connection unexpectedly"
+    return json.loads(line)
+
+
+class TestProtocol:
+    def test_submit_roundtrip(self, harness):
+        sock, stream = harness.connect()
+        try:
+            response = call(stream, {"op": "submit", "spec": selftest_spec(value=11)})
+            assert response["ok"]
+            assert response["state"] == "done"
+            assert response["origin"] == "executed"
+            assert response["result"]["value"] == 11
+            assert response["latency_s"] >= 0
+        finally:
+            sock.close()
+
+    def test_nowait_submit_then_status_then_result(self, harness):
+        sock, stream = harness.connect()
+        try:
+            submitted = call(
+                stream,
+                {"op": "submit", "spec": selftest_spec(value=2, sleep_s=0.2),
+                 "wait": False},
+            )
+            assert submitted["ok"]
+            assert submitted["state"] in ("queued", "running")
+            key = submitted["key"]
+
+            status = call(stream, {"op": "status", "key": key})
+            assert status["ok"]
+            assert "result" not in status  # status never ships the body
+
+            result = call(stream, {"op": "result", "key": key, "timeout_s": 30})
+            assert result["ok"]
+            assert result["state"] == "done"
+            assert result["result"]["value"] == 2
+        finally:
+            sock.close()
+
+    def test_concurrent_clients_coalesce_over_the_wire(self, harness):
+        spec = selftest_spec(value=5, sleep_s=0.3)
+        responses = []
+        lock = threading.Lock()
+
+        def client():
+            sock, stream = harness.connect()
+            try:
+                response = call(stream, {"op": "submit", "spec": spec})
+                with lock:
+                    responses.append(response)
+            finally:
+                sock.close()
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(responses) == 4
+        assert all(r["ok"] and r["result"]["value"] == 5 for r in responses)
+        stats = harness.service.stats()
+        assert stats["counters"]["executed"] == 1
+        assert stats["counters"]["coalesced"] == 3
+
+    def test_stats_and_gc_ops(self, harness):
+        sock, stream = harness.connect()
+        try:
+            call(stream, {"op": "submit", "spec": selftest_spec(value=1)})
+            stats = call(stream, {"op": "stats"})
+            assert stats["ok"]
+            assert stats["stats"]["counters"]["executed"] == 1
+            assert "pool" in stats["stats"]
+            report = call(stream, {"op": "gc", "dry_run": True})
+            assert report["ok"]
+            assert report["gc"]["pruned"] == 0  # live request protects it
+        finally:
+            sock.close()
+
+    def test_malformed_requests_get_error_responses_not_disconnects(self, harness):
+        sock, stream = harness.connect()
+        try:
+            assert not call(stream, {"op": "unknown"})["ok"]
+            assert not call(stream, {"op": "status"})["ok"]  # missing key
+            assert not call(stream, {"op": "status", "key": "nope"})["ok"]
+            assert not call(stream, {"op": "submit"})["ok"]  # no spec/sim
+            stream.write("not json\n")
+            stream.flush()
+            assert "malformed JSON" in json.loads(stream.readline())["error"]
+            # Connection still usable after all of the above.
+            assert call(stream, {"op": "stats"})["ok"]
+        finally:
+            sock.close()
+
+    def test_failed_scenario_reported_as_failed_state(self, harness):
+        sock, stream = harness.connect()
+        try:
+            response = call(
+                stream, {"op": "submit", "spec": selftest_spec(value=1, fail=True)}
+            )
+            assert response["ok"]  # protocol-level ok; request-level failure
+            assert response["state"] == "failed"
+            assert "selftest scenario failed" in response["error"]
+        finally:
+            sock.close()
+
+
+@pytest.mark.slow
+class TestCLI:
+    def test_module_cli_serves_on_ephemeral_port(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--port", "0",
+             "--cache-dir", str(tmp_path / "cache"), "--queue-size", "4"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            announce = proc.stdout.readline().strip()
+            assert announce.startswith("serving on ")
+            host, port = announce.split()[-1].rsplit(":", 1)
+            sock = socket.create_connection((host, int(port)), timeout=30.0)
+            stream = sock.makefile("rw", encoding="utf-8")
+            try:
+                first = call(stream, {"op": "submit", "spec": selftest_spec(value=8)})
+                assert first["ok"] and first["origin"] == "executed"
+                # Identical resubmission is answered without re-execution.
+                again = call(stream, {"op": "submit", "spec": selftest_spec(value=8)})
+                assert again["ok"] and again["state"] == "done"
+                stats = call(stream, {"op": "stats"})
+                assert stats["stats"]["counters"]["executed"] == 1
+            finally:
+                sock.close()
+        finally:
+            proc.terminate()
+            proc.wait(timeout=15.0)
+
+    def test_cli_help_mentions_knobs(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")])
+        )
+        output = subprocess.run(
+            [sys.executable, "-m", "repro.serve", "--help"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert output.returncode == 0
+        for flag in ("--workers", "--max-models", "--queue-size", "--cache-dir"):
+            assert flag in output.stdout

@@ -1,0 +1,66 @@
+"""Regression tests: the compute-dtype policy is process-wide, so two
+overlapping :class:`Session`\\ s applying *different* dtypes used to clobber
+each other silently — the later ``__exit__`` then restored a stale policy.
+A conflicting overlap now raises :class:`ConcurrentDtypeError` before any
+state is touched; same-dtype nesting and sequential sessions stay allowed
+(the sanctioned concurrent path is ``repro.serve``'s execution lock).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ConcurrentDtypeError, Session, SimConfig
+from repro.sim.session import _ACTIVE_DTYPE_SESSIONS
+from repro.tensor.dtype import compute_dtype_name
+
+
+class TestSessionDtypeGuard:
+    def test_conflicting_nested_dtype_raises(self, small_mlp):
+        with Session(small_mlp, SimConfig(dtype="float32")):
+            assert compute_dtype_name() == "float32"
+            with pytest.raises(ConcurrentDtypeError, match="process-wide"):
+                with Session(small_mlp, SimConfig(dtype="float64")):
+                    pass  # pragma: no cover - never entered
+            # The refused session mutated nothing: policy still float32.
+            assert compute_dtype_name() == "float32"
+        assert compute_dtype_name() == "float64"
+
+    def test_conflicting_enter_leaves_layers_untouched(self, small_mlp):
+        layer = next(iter(small_mlp.encoded_layers()))
+        with Session(small_mlp, SimConfig(mode="noisy", noise_sigma=2.0, dtype="float32")):
+            assert layer.mode == "noisy"
+            with pytest.raises(ConcurrentDtypeError):
+                with Session(small_mlp, SimConfig(mode="clean", dtype="float64")):
+                    pass  # pragma: no cover - never entered
+            # Atomicity: the refused config changed neither mode nor sigma.
+            assert layer.mode == "noisy"
+            assert layer.noise_sigma == 2.0
+
+    def test_same_dtype_nesting_is_allowed(self, small_mlp):
+        with Session(small_mlp, SimConfig(dtype="float32")):
+            with Session(small_mlp, SimConfig(dtype="float32")):
+                assert compute_dtype_name() == "float32"
+            assert compute_dtype_name() == "float32"
+        assert compute_dtype_name() == "float64"
+
+    def test_sequential_sessions_are_allowed(self, small_mlp):
+        with Session(small_mlp, SimConfig(dtype="float32")):
+            assert compute_dtype_name() == "float32"
+        with Session(small_mlp, SimConfig(dtype="float64")):
+            assert compute_dtype_name() == "float64"
+        assert compute_dtype_name() == "float64"
+
+    def test_dtype_free_sessions_never_register(self, small_mlp):
+        with Session(small_mlp, SimConfig(mode="noisy", noise_sigma=1.0)):
+            assert not _ACTIVE_DTYPE_SESSIONS
+        assert not _ACTIVE_DTYPE_SESSIONS
+
+    def test_guard_releases_on_body_exception(self, small_mlp):
+        with pytest.raises(RuntimeError, match="boom"):
+            with Session(small_mlp, SimConfig(dtype="float32")):
+                raise RuntimeError("boom")
+        assert not _ACTIVE_DTYPE_SESSIONS
+        assert compute_dtype_name() == "float64"
+        with Session(small_mlp, SimConfig(dtype="float32")):
+            assert compute_dtype_name() == "float32"
