@@ -1,22 +1,31 @@
-"""Benchmark E9 — serving latency: cold vs coalesced vs cache-hit.
+"""Benchmark E9 — serving latency: cold, parallel-distinct, coalesced, cached.
 
 Drives a **live** ``python -m repro.serve`` subprocess (the real deployment
-shape: spawned CLI, ephemeral port, JSON-lines TCP) against the fast
-profile and measures the three request classes the server exists for:
+shape: spawned CLI, ephemeral port, JSON-lines TCP) with ``--workers 2``
+against the fast profile and measures the request classes the server
+exists for:
 
-* **cold** — first-ever evaluation of a config: loads the pre-trained
-  model from the checkpoint cache and runs the simulation;
-* **coalesced** — K concurrent identical requests while the evaluation is
-  in flight: exactly ONE simulation runs (the server's coalescing counter
-  proves it), the other K-1 share its result;
+* **cold** — first-ever evaluation of a config: spins up the engine's
+  worker pool, loads the pre-trained model and runs the simulation;
+* **parallel-distinct** — two *different* configs submitted concurrently:
+  with per-process execution contexts there is no global execution lock,
+  so they run ``min(K, workers)``-wide.  Measured against the same pair
+  executed serially (fresh sigmas both times, so neither leg can cheat via
+  the result store);
+* **coalesced** — K concurrent *identical* requests while the evaluation
+  is in flight: exactly ONE simulation runs (the server's coalescing
+  counter proves it), the other K-1 share its result;
 * **cache-hit** — an identical request re-submitted after completion:
   answered from the content-addressed result store without rebuilding or
   touching any model (the pool's load counter proves it).
 
-The gate rides the cache-hit path: answering a repeated request must be at
-least ``MIN_SPEEDUP`` x faster than computing it cold.  The artifact
-``benchmarks/results/BENCH_serve.json`` records all three latencies, the
-coalescing evidence and the compute dtype the simulation ran at.
+Gating is honest about the host: with >= 2 usable CPUs the gate rides the
+parallel-distinct speedup (the tentpole claim of the context refactor);
+on a single-core host true parallelism cannot beat serial, so the gate
+falls back to the cache-hit path — which is additionally plain-asserted
+at >= ``MIN_CACHE_SPEEDUP`` x cold on every host.  The artifact
+``benchmarks/results/BENCH_serve.json`` records all phases, the
+coalescing evidence, per-worker execution counts and the compute dtype.
 """
 
 import json
@@ -32,10 +41,22 @@ from benchmarks.conftest import emit_report
 from repro.experiments.common import ensure_checkpoint_on_disk
 from repro.serve import EvalRequest
 
-MIN_SPEEDUP = 50.0
+MIN_CACHE_SPEEDUP = 50.0
+MIN_PARALLEL_SPEEDUP = 1.4
+SERVE_WORKERS = 2
 COALESCE_CLIENTS = 4
 SIGMA_COLD = 5.0
 SIGMA_COALESCE = 10.0
+SIGMAS_WARM = (24.0, 25.0)
+SIGMAS_SERIAL = (20.0, 21.0)
+SIGMAS_PARALLEL = (22.0, 23.0)
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
 
 
 def _rpc(address, message, timeout=600.0):
@@ -55,7 +76,28 @@ def _eval_payload(profile_name, sigma):
     }
 
 
-def test_serve_latency_cold_coalesced_cached(bundle, capsys, results_dir, tmp_path):
+def _submit_concurrently(address, payloads):
+    """Submit all payloads at once; returns (responses, wall_seconds)."""
+    responses = []
+    lock = threading.Lock()
+
+    def client(payload):
+        response = _rpc(address, payload)
+        with lock:
+            responses.append(response)
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(p,)) for p in payloads]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return responses, time.perf_counter() - start
+
+
+def test_serve_latency_cold_parallel_coalesced_cached(
+    bundle, capsys, results_dir, tmp_path
+):
     profile = bundle.profile
 
     # Seed a private cache dir with ONLY the pre-trained checkpoint: the
@@ -72,7 +114,8 @@ def test_serve_latency_cold_coalesced_cached(bundle, capsys, results_dir, tmp_pa
     )
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.serve", "--port", "0",
-         "--cache-dir", str(cache_dir), "--max-models", "2"],
+         "--cache-dir", str(cache_dir), "--max-models", "2",
+         "--workers", str(SERVE_WORKERS)],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
     )
     try:
@@ -81,7 +124,7 @@ def test_serve_latency_cold_coalesced_cached(bundle, capsys, results_dir, tmp_pa
         host, port = announce.split()[-1].rsplit(":", 1)
         address = (host, int(port))
 
-        # ---- cold: model load + simulation ------------------------------
+        # ---- cold: pool spin-up + model load + simulation ---------------
         start = time.perf_counter()
         cold = _rpc(address, _eval_payload(profile.name, SIGMA_COLD))
         cold_s = time.perf_counter() - start
@@ -89,24 +132,42 @@ def test_serve_latency_cold_coalesced_cached(bundle, capsys, results_dir, tmp_pa
         assert cold["origin"] == "executed"
         cold_accuracy = cold["result"]["accuracy"]
 
-        # ---- coalesced: K concurrent identical requests, 1 simulation ---
-        payload = _eval_payload(profile.name, SIGMA_COALESCE)
-        responses = []
-        lock = threading.Lock()
+        # ---- warm both workers (unmeasured): a concurrent distinct pair
+        # makes every worker process load its model copy, so the measured
+        # phases below compare pure execution, not one-off loads.
+        warm, _ = _submit_concurrently(
+            address, [_eval_payload(profile.name, s) for s in SIGMAS_WARM]
+        )
+        assert all(r["ok"] and r["state"] == "done" for r in warm), warm
 
-        def client():
-            response = _rpc(address, payload)
-            with lock:
-                responses.append(response)
-
-        before = _rpc(address, {"op": "stats"})["stats"]["counters"]
+        # ---- serial pair: two distinct fresh configs, back to back ------
         start = time.perf_counter()
-        threads = [threading.Thread(target=client) for _ in range(COALESCE_CLIENTS)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        coalesced_s = time.perf_counter() - start
+        for sigma in SIGMAS_SERIAL:
+            response = _rpc(address, _eval_payload(profile.name, sigma))
+            assert response["ok"] and response["origin"] == "executed", response
+        serial_pair_s = time.perf_counter() - start
+
+        # ---- parallel pair: two distinct fresh configs, concurrently ----
+        parallel, parallel_pair_s = _submit_concurrently(
+            address, [_eval_payload(profile.name, s) for s in SIGMAS_PARALLEL]
+        )
+        assert len(parallel) == 2
+        assert all(r["ok"] and r["origin"] == "executed" for r in parallel), parallel
+
+        stats_after_parallel = _rpc(address, {"op": "stats"})["stats"]
+        workers_block = stats_after_parallel["workers"]
+        assert workers_block["dispatch"] == "spawn-pool"
+        assert workers_block["count"] == SERVE_WORKERS
+        # Both queue-draining workers actually executed something.
+        per_worker = workers_block["executed_per_worker"]
+        assert len(per_worker) == SERVE_WORKERS, per_worker
+
+        # ---- coalesced: K concurrent identical requests, 1 simulation ---
+        before = stats_after_parallel["counters"]
+        responses, coalesced_s = _submit_concurrently(
+            address,
+            [_eval_payload(profile.name, SIGMA_COALESCE)] * COALESCE_CLIENTS,
+        )
         assert len(responses) == COALESCE_CLIENTS
         assert all(r["ok"] and r["state"] == "done" for r in responses)
         accuracies = {r["result"]["accuracy"] for r in responses}
@@ -129,11 +190,13 @@ def test_serve_latency_cold_coalesced_cached(bundle, capsys, results_dir, tmp_pa
         assert hit["ok"] and hit["state"] == "done", hit
         assert hit["result"]["accuracy"] == cold_accuracy
         final = _rpc(address, {"op": "stats"})["stats"]
-        assert final["counters"]["executed"] == 2  # cold + coalesce group only
+        # cold + warm pair + serial pair + parallel pair + coalesce group
+        assert final["counters"]["executed"] == 8
         assert final["pool"]["models_loaded"] == models_loaded_before_hit, (
             "a repeated request must be answered from the result store "
             "without rebuilding a model"
         )
+        executed_per_worker = final["workers"]["executed_per_worker"]
     finally:
         proc.terminate()
         try:
@@ -142,11 +205,21 @@ def test_serve_latency_cold_coalesced_cached(bundle, capsys, results_dir, tmp_pa
             proc.kill()
             proc.wait(timeout=15.0)
 
-    speedup = cold_s / hit_s
-    # Mean per-client latency of the coalesced group: K clients paid one
-    # simulation's wall-clock between them, so the group must not take
-    # K times the cold path.
+    cache_speedup = cold_s / hit_s
+    parallel_speedup = serial_pair_s / parallel_pair_s
     coalesced_per_client_s = coalesced_s / COALESCE_CLIENTS
+    cpus = _usable_cpus()
+
+    # Honest gating: true parallel speedup needs real cores.  On >= 2 CPUs
+    # the concurrent-distinct pair must beat the serial pair; on one core
+    # the spawn pool can only interleave, so the gate rides the cache-hit
+    # path instead (recorded as such) — and the cache-hit floor is asserted
+    # unconditionally either way.
+    gated_on = "parallel_distinct" if cpus >= 2 else "cache_hit"
+    if gated_on == "parallel_distinct":
+        gated_speedup, min_required = parallel_speedup, MIN_PARALLEL_SPEEDUP
+    else:
+        gated_speedup, min_required = cache_speedup, MIN_CACHE_SPEEDUP
 
     # The compute dtype the evaluation actually ran at — taken from the
     # concrete spec identity the facade payload canonicalises to.
@@ -160,17 +233,25 @@ def test_serve_latency_cold_coalesced_cached(bundle, capsys, results_dir, tmp_pa
             "experiment": "api_eval",
             "profile": profile.name,
             "server": "python -m repro.serve (subprocess, JSON-lines TCP)",
+            "serve_workers": SERVE_WORKERS,
             "coalesce_clients": COALESCE_CLIENTS,
             "compute_dtype": compute_dtype,
         },
         "cold_s": cold_s,
+        "serial_pair_s": serial_pair_s,
+        "parallel_pair_s": parallel_pair_s,
+        "parallel_distinct_speedup": parallel_speedup,
         "coalesced_group_s": coalesced_s,
         "coalesced_per_client_s": coalesced_per_client_s,
         "cache_hit_s": hit_s,
+        "cache_hit_speedup": cache_speedup,
         "coalesced_executions": executed_delta,
         "coalesced_joined": coalesced_delta,
-        "speedup": speedup,
-        "min_required_speedup": MIN_SPEEDUP,
+        "executed_per_worker": executed_per_worker,
+        "usable_cpus": cpus,
+        "gated_on": gated_on,
+        "speedup": gated_speedup,
+        "min_required_speedup": min_required,
     }
     with open(os.path.join(results_dir, "BENCH_serve.json"), "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2)
@@ -178,17 +259,22 @@ def test_serve_latency_cold_coalesced_cached(bundle, capsys, results_dir, tmp_pa
 
     report = "\n".join(
         [
-            "Serving latency, live `python -m repro.serve` (fast profile)",
-            f"  cold (load + simulate)  : {cold_s:8.3f} s",
-            f"  {COALESCE_CLIENTS} coalesced clients     : {coalesced_s:8.3f} s total "
+            f"Serving latency, live `python -m repro.serve --workers "
+            f"{SERVE_WORKERS}` (fast profile)",
+            f"  cold (spin-up + simulate): {cold_s:8.3f} s",
+            f"  2 distinct, serial       : {serial_pair_s:8.3f} s",
+            f"  2 distinct, concurrent   : {parallel_pair_s:8.3f} s "
+            f"({parallel_speedup:.2f}x)",
+            f"  {COALESCE_CLIENTS} coalesced clients      : {coalesced_s:8.3f} s total "
             f"({coalesced_per_client_s:.3f} s/client, {executed_delta} simulation)",
-            f"  cache-hit resubmit      : {hit_s:8.3f} s",
-            f"  gate                    : cache-hit >= {MIN_SPEEDUP:.0f}x cold "
-            f"-> {speedup:.1f}x",
-            f"  compute dtype           : {compute_dtype}",
-            "  artifact                : benchmarks/results/BENCH_serve.json",
+            f"  cache-hit resubmit       : {hit_s:8.3f} s ({cache_speedup:.1f}x)",
+            f"  gate                     : {gated_on} >= {min_required:.1f}x "
+            f"-> {gated_speedup:.1f}x (cpus={cpus})",
+            f"  compute dtype            : {compute_dtype}",
+            "  artifact                 : benchmarks/results/BENCH_serve.json",
         ]
     )
     emit_report(capsys, results_dir, "serve_latency", report)
 
-    assert speedup >= MIN_SPEEDUP
+    assert cache_speedup >= MIN_CACHE_SPEEDUP
+    assert gated_speedup >= min_required

@@ -48,8 +48,23 @@ def get_cache_dir() -> str:
     return os.environ.get(CACHE_ENV_VAR, os.path.join(os.getcwd(), ".repro_cache"))
 
 
-_BUNDLE_CACHE: Dict[str, "ExperimentBundle"] = {}
+# The pre-trained bundle cache lives on the current ExecutionContext
+# (``current_context().bundles``) — each worker process/explicit context
+# owns its own bundles, and bounded holders (the serve model pool) release
+# memory through :func:`evict_bundle` without reaching into module state.
+#
+# The dataset cache stays module-level on purpose: dataset arrays are an
+# immutable pure function of the profile (explicit seeds throughout), so
+# sharing them across contexts is safe and avoids re-generating identical
+# arrays per context.
 _DATASET_CACHE: Dict[Tuple, Tuple[TensorDataset, TensorDataset]] = {}
+
+
+def _bundle_cache() -> Dict[str, "ExperimentBundle"]:
+    """The current execution context's bundle cache (keyed by profile token)."""
+    from repro.context import current_context
+
+    return current_context().bundles
 
 
 @dataclass
@@ -222,9 +237,10 @@ def get_pretrained_bundle(
     scenario runner's worker processes skip the expensive stages.
     """
     profile = profile or get_profile()
+    cache = _bundle_cache()
     cache_key = profile_token(profile)
-    if not force_retrain and cache_key in _BUNDLE_CACHE:
-        return _BUNDLE_CACHE[cache_key]
+    if not force_retrain and cache_key in cache:
+        return cache[cache_key]
 
     seed_everything(profile.seed)
     train_loader, test_loader, gbo_loader = build_loaders(profile)
@@ -293,7 +309,7 @@ def get_pretrained_bundle(
         clean_accuracy=clean_accuracy,
         pretrained_snapshot=model.state_dict(),
     )
-    _BUNDLE_CACHE[cache_key] = bundle
+    cache[cache_key] = bundle
     return bundle
 
 
@@ -348,13 +364,14 @@ def evict_bundle(token: str) -> bool:
 
     Lets bounded holders (``repro.serve``'s model pool) actually free the
     model/data memory on eviction — popping only their own reference while
-    this module-level cache still pins the bundle would make every
-    "eviction" a no-op.  The on-disk checkpoint is untouched, so a later
-    :func:`get_pretrained_bundle` rebuilds cheaply.
+    the context's cache still pins the bundle would make every "eviction" a
+    no-op.  Keyed access goes through the current execution context, so the
+    pool never reaches into module internals.  The on-disk checkpoint is
+    untouched, so a later :func:`get_pretrained_bundle` rebuilds cheaply.
     """
-    return _BUNDLE_CACHE.pop(token, None) is not None
+    return _bundle_cache().pop(token, None) is not None
 
 
 def clear_bundle_cache() -> None:
-    """Drop all in-process cached bundles (used by tests)."""
-    _BUNDLE_CACHE.clear()
+    """Drop the current context's cached bundles (used by tests)."""
+    _bundle_cache().clear()

@@ -51,24 +51,27 @@ class Fig2Result:
 # ---------------------------------------------------------------------------
 # Scenario grid
 # ---------------------------------------------------------------------------
-_LAYER_COUNT_CACHE = {}
-
-
 def encoded_layer_count(profile: ExperimentProfile) -> int:
     """Encoded-layer count of the profile's architecture.
 
     Derived from the model itself (the single source of truth, so grids
     built from a profile and grids built from a live bundle can never
     disagree) and memoised per architecture shape, because the registry and
-    the report builder construct fig2 grids without a bundle at hand.
+    the report builder construct fig2 grids without a bundle at hand.  The
+    memo lives on the current execution context's bounded cache: unusual
+    shapes (profile overrides sweeping width/size) age out instead of
+    accumulating for the life of the process.
     """
+    from repro.context import current_context
+
+    cache = current_context().bounded_cache("fig2_layer_counts", max_entries=8)
     key = (profile.model, profile.width_multiplier, profile.image_size,
            profile.num_classes, profile.activation_levels)
-    if key not in _LAYER_COUNT_CACHE:
+    if key not in cache:
         from repro.experiments.common import build_model
 
-        _LAYER_COUNT_CACHE[key] = build_model(profile).num_encoded_layers()
-    return _LAYER_COUNT_CACHE[key]
+        cache.put(key, build_model(profile).num_encoded_layers())
+    return cache.get(key)
 
 
 def _resolve_sigma(profile: ExperimentProfile, sigma: Optional[float]) -> float:

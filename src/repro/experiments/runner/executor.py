@@ -111,23 +111,36 @@ def _bundle_for(spec: ScenarioSpec, bundles: Dict[str, Any], explicit_bundle=Non
 # ---------------------------------------------------------------------------
 # Worker-pool plumbing (module level so the spawn pickler can find it)
 # ---------------------------------------------------------------------------
-_WORKER_STAGE_STORE = None
-
-
 def _worker_init(cache_dir: Optional[str], store_root: Optional[str]) -> None:
-    global _WORKER_STAGE_STORE
+    """Bootstrap one spawned worker: activate the worker's own context.
+
+    Every worker process owns a fresh :class:`repro.context.ExecutionContext`
+    — its own dtype policy, default RNG, grad flag and bundle cache — so
+    nothing a scenario mutates can leak into the parent or a sibling.  The
+    worker's stage store rides on the context: with a persistent store,
+    stages are shared across all workers via disk; without one, a
+    process-local MemoryStore at least shares stages between the scenarios
+    this worker executes (instead of recomputing them per scenario).
+    """
+    from repro.context import ExecutionContext, activate_context
+
     if cache_dir:
         os.environ["REPRO_CACHE_DIR"] = cache_dir
-    # One stage store per worker process: with a persistent store, stages
-    # are shared across all workers via disk; without one, a process-local
-    # MemoryStore at least shares stages between the scenarios this worker
-    # executes (instead of recomputing them per scenario).
-    _WORKER_STAGE_STORE = ResultStore(store_root) if store_root else MemoryStore()
+    activate_context(
+        ExecutionContext(
+            stage_store=ResultStore(store_root) if store_root else MemoryStore(),
+            name="runner-worker",
+        )
+    )
 
 
 def _worker_run(payload: Dict[str, Any]) -> Tuple[str, Dict[str, Any], float]:
+    from repro.context import current_context
+
     spec = ScenarioSpec.from_dict(payload)
-    stage_store = _WORKER_STAGE_STORE if _WORKER_STAGE_STORE is not None else MemoryStore()
+    stage_store = current_context().stage_store
+    if stage_store is None:
+        stage_store = MemoryStore()
     bundle = None
     if needs_bundle(spec.experiment):
         profile = get_profile(spec.profile).with_overrides(**spec.override_dict())
@@ -135,6 +148,59 @@ def _worker_run(payload: Dict[str, Any]) -> Tuple[str, Dict[str, Any], float]:
     start = time.perf_counter()
     result = execute_scenario(spec, bundle=bundle, stage_store=stage_store)
     return spec.hash, result, time.perf_counter() - start
+
+
+def _worker_ping() -> int:
+    """No-op task used to force eager worker spawn (see spawn_worker_pool)."""
+    return os.getpid()
+
+
+def spawn_worker_pool(
+    workers: int,
+    store_root: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    warm: bool = True,
+) -> ProcessPoolExecutor:
+    """A long-lived spawn pool whose workers each own an execution context.
+
+    The building block behind both :func:`run_grid`'s parallel mode and
+    ``repro.serve``'s parallel request dispatch: ``workers`` spawned
+    processes, each bootstrapped through :func:`_worker_init` (own
+    :class:`~repro.context.ExecutionContext`, own stage store, shared
+    on-disk caches) with BLAS pools pinned to one thread so N workers do
+    not fight over the machine with N x num_threads BLAS pools.
+
+    With ``warm=True`` (default) the pool spawns all its processes before
+    returning, by submitting one ping per worker: ``ProcessPoolExecutor``
+    otherwise spawns lazily at submit time, after this function restored
+    the parent's BLAS environment — the pinning must be inherited at
+    process creation.  Callers own the returned executor and must
+    ``shutdown()`` it.
+    """
+    saved_env = {name: os.environ.get(name) for name in _WORKER_THREAD_ENV}
+    for name in _WORKER_THREAD_ENV:
+        os.environ[name] = "1"
+    try:
+        context = multiprocessing.get_context("spawn")
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(cache_dir, store_root),
+        )
+        if warm:
+            # Each submit spawns a new process while the pool is below
+            # max_workers, so N pings guarantee N workers exist — created
+            # while the BLAS pinning above is still in the environment.
+            for future in [pool.submit(_worker_ping) for _ in range(workers)]:
+                future.result()
+    finally:
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    return pool
 
 
 def _run_parallel(
@@ -155,60 +221,44 @@ def _run_parallel(
     store_root = store.root if isinstance(store, ResultStore) else None
     cache_dir = os.environ.get("REPRO_CACHE_DIR")
 
-    # Pin worker BLAS pools to one thread each; the env must be set before
-    # the child process loads numpy, hence before the pool spawns.
-    saved_env = {name: os.environ.get(name) for name in _WORKER_THREAD_ENV}
-    for name in _WORKER_THREAD_ENV:
-        os.environ[name] = "1"
-    try:
-        context = multiprocessing.get_context("spawn")
-        by_hash = {spec.hash: spec for spec in pending}
-        # ProcessPoolExecutor (rather than multiprocessing.Pool) so a worker
-        # dying at bootstrap surfaces as BrokenProcessPool instead of the
-        # pool silently respawning workers forever.
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=context,
-            initializer=_worker_init,
-            initargs=(cache_dir, store_root),
-        ) as pool:
-            futures = {
-                pool.submit(_worker_run, spec.as_dict()): spec for spec in pending
-            }
-            # Drain EVERY future before raising anything: a scenario failing
-            # in one worker must not discard results siblings already
-            # finished — those are persisted below, so only the failures
-            # need re-executing on resume.
-            failures: Dict[ScenarioSpec, BaseException] = {}
-            for future in as_completed(futures):
-                try:
-                    spec_hash, result, elapsed = future.result()
-                except Exception as error:
-                    failures[futures[future]] = error
-                    continue
-                spec = by_hash[spec_hash]
-                if store is not None:
-                    result = store.put(spec, result)
-                else:
-                    result = jsonify_result(result)
-                outcome.results[spec_hash] = result
-                outcome.per_scenario_s[spec_hash] = elapsed
-                outcome.executed += 1
-                LOGGER.info(
-                    "scenario %s done in %.2fs (%d/%d)",
-                    spec.label(),
-                    elapsed,
-                    outcome.executed + outcome.cached,
-                    len(outcome.grid),
-                )
-            if failures:
-                raise GridExecutionError(failures, completed=outcome.executed)
-    finally:
-        for name, value in saved_env.items():
-            if value is None:
-                os.environ.pop(name, None)
+    by_hash = {spec.hash: spec for spec in pending}
+    # spawn_worker_pool pins worker BLAS pools to one thread each and gives
+    # every worker process its own ExecutionContext.  ProcessPoolExecutor
+    # (rather than multiprocessing.Pool) so a worker dying at bootstrap
+    # surfaces as BrokenProcessPool instead of the pool silently respawning
+    # workers forever.
+    with spawn_worker_pool(workers, store_root=store_root, cache_dir=cache_dir) as pool:
+        futures = {
+            pool.submit(_worker_run, spec.as_dict()): spec for spec in pending
+        }
+        # Drain EVERY future before raising anything: a scenario failing
+        # in one worker must not discard results siblings already
+        # finished — those are persisted below, so only the failures
+        # need re-executing on resume.
+        failures: Dict[ScenarioSpec, BaseException] = {}
+        for future in as_completed(futures):
+            try:
+                spec_hash, result, elapsed = future.result()
+            except Exception as error:
+                failures[futures[future]] = error
+                continue
+            spec = by_hash[spec_hash]
+            if store is not None:
+                result = store.put(spec, result)
             else:
-                os.environ[name] = value
+                result = jsonify_result(result)
+            outcome.results[spec_hash] = result
+            outcome.per_scenario_s[spec_hash] = elapsed
+            outcome.executed += 1
+            LOGGER.info(
+                "scenario %s done in %.2fs (%d/%d)",
+                spec.label(),
+                elapsed,
+                outcome.executed + outcome.cached,
+                len(outcome.grid),
+            )
+        if failures:
+            raise GridExecutionError(failures, completed=outcome.executed)
 
 
 def run_grid(

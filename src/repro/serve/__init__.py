@@ -17,11 +17,20 @@ recognisable *before* it runs:
   pre-trained model copy, LRU-bounded (:class:`~repro.serve.pool.ModelPool`).
 
 Concurrency model: the asyncio front end (:class:`~repro.serve.server.EvalServer`)
-accepts any number of clients; actual simulation is serialised behind a
-per-process execution lock (:class:`~repro.serve.pool.ExecutionEngine`)
-because the simulator's compute-dtype policy and RNG stream are
-process-global.  Scaling out means processes, not threads — the runner's
-spawn-pool executor is the sanctioned path (see :mod:`repro.serve.pool`).
+accepts any number of clients.  **Scaling out means processes, not
+threads** — and with ``workers > 1`` the server actually does it: the
+:class:`~repro.serve.pool.ExecutionEngine` dispatches each scenario to a
+spawn pool of worker processes, each owning its own
+:class:`repro.context.ExecutionContext` (compute-dtype policy, RNG
+stream, bundle cache), so K distinct requests execute ``min(K, workers)``
+wide with no global execution lock.  Threads would not work here even
+with the context machinery: a simulation saturates its process (NumPy
+compute holds the GIL for real work) and the pooled model object itself
+is mutated during configuration, so in-process threading buys
+interleaving, not speedup.  With ``workers == 1`` (default) execution is
+inline and serialised behind the engine's lock — the single parent
+context is shared state, and overlapping conflicting sessions on one
+context is forbidden (:class:`repro.sim.ConcurrentDtypeError`).
 
 Run it: ``python -m repro.serve --help``.
 """

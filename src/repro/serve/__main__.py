@@ -34,7 +34,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers", type=int, default=defaults.workers,
-        help="execution worker threads (serialised by the execution lock)",
+        help="1 executes inline (serialised); >1 dispatches to that many "
+        "worker processes, each with its own execution context",
     )
     parser.add_argument(
         "--max-models", type=int, default=defaults.max_models,

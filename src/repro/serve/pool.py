@@ -9,37 +9,46 @@ Two concerns live here, deliberately separated from the front end:
     request configuration against the same profile shares one model copy —
     the per-request state (sim config, RNG stream) is applied and undone
     around each execution by the scenario machinery, never baked into the
-    pooled model.  Eviction also drops the bundle from
-    :mod:`repro.experiments.common`'s module-level cache so memory is
-    actually released.
+    pooled model.  Eviction also drops the bundle from the execution
+    context's bundle cache (via
+    :func:`repro.experiments.common.evict_bundle`) so memory is actually
+    released.  Lookups are safe under concurrent callers: a per-token
+    build lock makes simultaneous misses for the same profile build once.
 
 :class:`ExecutionEngine`
-    Runs one scenario at a time behind a per-process ``threading.Lock``.
-    The lock is not an implementation shortcut — it serialises the
-    **process-global** state a simulation touches: the compute-dtype policy
-    (:mod:`repro.tensor.dtype`), the global RNG stream
-    (:func:`repro.utils.seed.seed_everything`), and the shared pooled model
-    itself.  Two scenarios interleaving on those would corrupt each other
-    (see :class:`repro.sim.ConcurrentDtypeError` for the dtype half).
-
-    Scale-out path: true parallel execution already exists in the runner's
-    spawn-pool executor (:func:`repro.experiments.runner.executor.run_grid`
-    with ``workers > 1``), where each worker process owns its own policy,
-    RNG and model.  A multi-worker server dispatches to such a pool instead
-    of calling :meth:`ExecutionEngine.execute` inline; the engine's lock
-    then guards only the parent's occasional in-process executions.
+    Routes scenario execution.  With ``workers > 1`` it dispatches to the
+    runner's spawn-pool executor
+    (:func:`repro.experiments.runner.executor.spawn_worker_pool`): each
+    worker process owns its own :class:`repro.context.ExecutionContext` —
+    dtype policy, RNG stream, bundle cache — so K distinct requests run
+    ``min(K, workers)``-wide with **no global execution lock**.  With
+    ``workers <= 1`` (default) scenarios run inline, one at a time behind
+    a lock: inline execution mutates the *parent's* context (dtype policy,
+    RNG seeding, pooled-model configuration), and overlapping that within
+    one context is exactly what :class:`repro.sim.ConcurrentDtypeError`
+    forbids.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Optional
 
-from repro.experiments.common import evict_bundle, get_pretrained_bundle, profile_token
+from repro.experiments.common import (
+    ensure_checkpoint_on_disk,
+    evict_bundle,
+    get_pretrained_bundle,
+    profile_token,
+)
 from repro.experiments.profiles import get_profile
+from repro.experiments.runner.executor import _worker_run, spawn_worker_pool
 from repro.experiments.runner.scenarios import execute_scenario
 from repro.experiments.runner.spec import ScenarioSpec
+from repro.experiments.runner.store import ResultStore
 from repro.tensor.dtype import compute_dtype_name, set_compute_dtype
 from repro.utils.logging import get_logger
 
@@ -61,6 +70,7 @@ class ModelPool:
         self._builder = builder or get_pretrained_bundle
         self._bundles: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        self._build_locks: Dict[str, threading.Lock] = {}
         self.loads = 0
         self.hits = 0
         self.evictions = 0
@@ -74,21 +84,30 @@ class ModelPool:
                 self._bundles.move_to_end(token)
                 self.hits += 1
                 return self._bundles[token]
+            build_lock = self._build_locks.setdefault(token, threading.Lock())
         # Build outside the pool lock: pre-training/loading can take long and
-        # must not block stats() or unrelated lookups.  The execution lock in
-        # ExecutionEngine already serialises callers, so no duplicate build
-        # races exist in practice; if one happens, last-in wins harmlessly
-        # (both builds come from the same deterministic checkpoint).
-        bundle = self._builder(profile)
-        with self._lock:
-            self._bundles[token] = bundle
-            self._bundles.move_to_end(token)
-            self.loads += 1
-            while len(self._bundles) > self.max_models:
-                evicted_token, _ = self._bundles.popitem(last=False)
-                evict_bundle(evicted_token)
-                self.evictions += 1
-                LOGGER.info("model pool evicted bundle %s", evicted_token)
+        # must not block stats() or unrelated lookups.  Callers are no longer
+        # serialised by an engine-wide execution lock, so simultaneous misses
+        # for the *same* token are funnelled through a per-token build lock:
+        # the first caller builds, the rest find the bundle on their
+        # double-check and count as hits.
+        with build_lock:
+            with self._lock:
+                if token in self._bundles:
+                    self._bundles.move_to_end(token)
+                    self.hits += 1
+                    return self._bundles[token]
+            bundle = self._builder(profile)
+            with self._lock:
+                self._bundles[token] = bundle
+                self._bundles.move_to_end(token)
+                self.loads += 1
+                self._build_locks.pop(token, None)
+                while len(self._bundles) > self.max_models:
+                    evicted_token, _ = self._bundles.popitem(last=False)
+                    evict_bundle(evicted_token)
+                    self.evictions += 1
+                    LOGGER.info("model pool evicted bundle %s", evicted_token)
         return bundle
 
     def tokens(self) -> list:
@@ -116,24 +135,89 @@ class ModelPool:
 
 
 class ExecutionEngine:
-    """Execute scenarios one at a time, leaving process state as found."""
+    """Execute scenarios inline (serialised) or on a spawn pool (parallel).
 
-    def __init__(self, pool: ModelPool, stage_store=None):
+    ``workers > 1`` turns on parallel dispatch: every execution is shipped
+    to a lazily created long-lived spawn pool whose worker processes each
+    own an :class:`~repro.context.ExecutionContext`, so distinct requests
+    genuinely overlap.  The parent only warms the pre-train checkpoint
+    onto disk first (so workers never pre-train redundantly) — it mutates
+    none of its own execution state, which is why no lock is taken on this
+    path.  ``workers <= 1`` keeps the original inline path: one scenario
+    at a time behind ``self.lock``, parent-context dtype snapshotted and
+    restored around the run.
+    """
+
+    def __init__(self, pool: ModelPool, stage_store=None, workers: int = 1):
         self.pool = pool
         self.stage_store = stage_store
-        #: THE execution lock: all process-global mutation (dtype policy,
-        #: RNG seeding, pooled-model configuration) happens while held.
+        self.workers = max(1, int(workers))
+        #: The inline-execution lock: all parent-context mutation (dtype
+        #: policy, RNG seeding, pooled-model configuration) happens while
+        #: held.  Parallel dispatch never takes it.
         self.lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def _pool_executor(self) -> ProcessPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                store_root = (
+                    self.stage_store.root
+                    if isinstance(self.stage_store, ResultStore)
+                    else None
+                )
+                self._executor = spawn_worker_pool(
+                    self.workers,
+                    store_root=store_root,
+                    cache_dir=os.environ.get("REPRO_CACHE_DIR"),
+                )
+                LOGGER.info("execution engine spawned %d worker(s)", self.workers)
+            return self._executor
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (if one was ever spawned)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
 
     def execute(self, spec: ScenarioSpec, needs_model: bool) -> Dict[str, Any]:
-        """Run ``spec`` and return its raw result dict.
+        """Run ``spec`` and return its raw result dict."""
+        if self.parallel:
+            return self._execute_parallel(spec, needs_model)
+        return self._execute_inline(spec, needs_model)
 
-        The compute-dtype policy is snapshotted and restored around the run:
-        scenario executors may legitimately switch it (``api_eval`` goes
-        through a :class:`~repro.sim.Session`, which restores it itself, but
-        the engine must not rely on every executor being that careful — the
-        server's policy is no residue, ever.
-        """
+    def _execute_parallel(self, spec: ScenarioSpec, needs_model: bool) -> Dict[str, Any]:
+        if needs_model:
+            # Warm through the pool so the parent keeps meaningful pool
+            # stats/LRU accounting, then make sure the checkpoint is on disk
+            # — the worker rebuilds its own copy from there into its own
+            # context's bundle cache.
+            ensure_checkpoint_on_disk(self.pool.bundle_for(spec))
+        executor = self._pool_executor()
+        try:
+            _, result, _ = executor.submit(_worker_run, spec.as_dict()).result()
+        except BrokenProcessPool:
+            # A worker died (OOM, signal).  Drop the broken pool so the next
+            # request spawns a fresh one instead of failing forever.
+            with self._executor_lock:
+                if self._executor is executor:
+                    self._executor = None
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        return result
+
+    def _execute_inline(self, spec: ScenarioSpec, needs_model: bool) -> Dict[str, Any]:
+        # The current context's dtype policy is snapshotted and restored
+        # around the run: scenario executors may legitimately switch it
+        # (``api_eval`` goes through a :class:`~repro.sim.Session`, which
+        # restores it itself, but the engine must not rely on every executor
+        # being that careful — the server's policy is no residue, ever).
         with self.lock:
             saved_dtype = compute_dtype_name()
             try:

@@ -4,7 +4,7 @@ Layering (front to back)::
 
     EvalServer          asyncio JSON-lines TCP protocol (submit/status/...)
       -> EvalService    coalescing, store cache hits, backpressure, counters
-        -> ExecutionEngine   one-at-a-time scenario execution (process lock)
+        -> ExecutionEngine   inline (serialised) or spawn-pool (parallel)
           -> ModelPool       LRU-bounded shared pre-trained bundles
 
 Request lifecycle inside :meth:`EvalService.submit` (one table-lock pass,
@@ -57,10 +57,12 @@ class ServeConfig:
 
     host: str = "127.0.0.1"
     port: int = 8642
-    #: Worker threads draining the execution queue.  They all funnel through
-    #: the engine's per-process execution lock (see :mod:`repro.serve.pool`),
-    #: so >1 only overlaps queue management with execution today; the
-    #: documented scale-out path is the runner's spawn-pool executor.
+    #: Workers.  ``1`` (default) runs scenarios inline, serialised by the
+    #: engine's execution lock.  ``> 1`` turns on parallel dispatch: that
+    #: many queue-draining threads each ship their scenario to the engine's
+    #: spawn pool of equally many worker *processes* — one
+    #: :class:`repro.context.ExecutionContext` per process, so K distinct
+    #: requests run ``min(K, workers)``-wide with no global lock.
     workers: int = 1
     #: LRU bound on resident pre-trained bundles (one per profile token).
     max_models: int = 2
@@ -85,7 +87,9 @@ class EvalService:
         self.config = config
         self.store = store if store is not None else default_store()
         self.pool = pool if pool is not None else ModelPool(max_models=config.max_models)
-        self.engine = ExecutionEngine(self.pool, stage_store=self.store)
+        self.engine = ExecutionEngine(
+            self.pool, stage_store=self.store, workers=config.workers
+        )
         self.table = RequestTable(max_history=config.max_history)
         self._queue: "queue.Queue[RequestRecord]" = queue.Queue(maxsize=config.queue_size)
         self._workers: list = []
@@ -103,6 +107,9 @@ class EvalService:
             ORIGIN_CACHE: LatencyStat(),
             ORIGIN_EXECUTED: LatencyStat(),
         }
+        #: Executions per queue-draining worker thread, for the stats op —
+        #: the observable proof that >1 workers actually share the load.
+        self._executed_per_worker: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -123,6 +130,7 @@ class EvalService:
         for worker in self._workers:
             worker.join(timeout=5.0)
         self._workers.clear()
+        self.engine.shutdown()
 
     # ------------------------------------------------------------------
     # Submission
@@ -184,6 +192,11 @@ class EvalService:
             clean = self.store.put(request.spec, result)
             record.resolve(clean, origin=ORIGIN_EXECUTED)
             self._bump("executed")
+            worker_name = threading.current_thread().name
+            with self._counter_lock:
+                self._executed_per_worker[worker_name] = (
+                    self._executed_per_worker.get(worker_name, 0) + 1
+                )
         except Exception as error:  # noqa: BLE001 — server must not die
             LOGGER.warning("request %s failed: %s", request.label(), error)
             record.fail(f"{type(error).__name__}: {error}")
@@ -206,12 +219,19 @@ class EvalService:
     def stats(self) -> Dict[str, Any]:
         with self._counter_lock:
             counters = dict(self.counters)
+            executed_per_worker = dict(self._executed_per_worker)
         return {
             "counters": counters,
             "pool": self.pool.stats(),
             "queue_depth": self._queue.qsize(),
             "in_flight": self.table.in_flight(),
             "history": len(self.table),
+            "workers": {
+                "count": len(self._workers),
+                "configured": self.config.workers,
+                "dispatch": "spawn-pool" if self.engine.parallel else "inline",
+                "executed_per_worker": executed_per_worker,
+            },
             "latency": {
                 origin: stat.as_dict() for origin, stat in self.latency.items()
             },

@@ -10,39 +10,41 @@ they remembered to undo.  A :class:`Session` replaces that dance:
   bad config can never leave a model half-configured;
 * **restore on exit** — entering a session snapshots every encoded layer's
   simulation state (mode, pulses, sigma, relative flag, PLA mode, engine
-  pin) and restores it on exit, even when the body raises.
+  pin) and restores it on exit, even when the body raises;
+* **context binding** — a session runs against one
+  :class:`repro.context.ExecutionContext`: the caller's current context by
+  default, or an explicitly passed ``context`` which the session activates
+  for the ``with`` block.  The config's dtype policy is applied to (and
+  restored on) that context, never to process-wide state.
 
 Targets are duck-typed: anything exposing ``encoded_layers()`` (models) or
 looking like a single encoded layer works, so per-layer experiments (e.g.
 Fig. 2's single-noisy-layer sweep) use the same machinery as whole-model
 configuration.
+
+Concurrency: because the dtype policy is context-local, two sessions
+running concurrently in *different* contexts may hold different dtypes —
+that is the sanctioned parallel path (one context per serve worker
+process or per explicitly bound thread).  Overlapping sessions that share
+one context must still agree on a dtype; a conflicting overlap raises
+:class:`ConcurrentDtypeError` before any state is touched, because the
+later ``__exit__`` would otherwise restore a stale policy onto the shared
+context.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.context import ExecutionContext, current_context, use_context
 from repro.sim.config import SimConfig
-from repro.tensor.dtype import canonical_dtype_name, compute_dtype_name, set_compute_dtype
+from repro.tensor.dtype import canonical_dtype_name
 from repro.utils.seed import seed_everything
-
-#: Live dtype-setting sessions: ``id(session) -> canonical dtype name``.
-#: The compute-dtype policy is PROCESS-WIDE (see :mod:`repro.tensor.dtype`),
-#: so two overlapping sessions applying *different* dtypes would silently
-#: clobber each other and the later ``__exit__`` would restore a stale
-#: policy.  Session entry therefore registers its dtype here and refuses a
-#: conflicting overlap loudly; same-dtype nesting stays allowed (restores
-#: are no-ops relative to each other).  The guard is thread-aware because
-#: the sanctioned concurrent path — ``repro.serve``'s worker pool — runs
-#: sessions from worker threads behind the service's execution lock.
-_DTYPE_GUARD = threading.Lock()
-_ACTIVE_DTYPE_SESSIONS: Dict[int, str] = {}
 
 
 class ConcurrentDtypeError(RuntimeError):
-    """Two overlapping sessions tried to apply conflicting compute dtypes."""
+    """Two overlapping same-context sessions tried conflicting compute dtypes."""
 
 
 def encoded_layers_of(target: Any) -> List[Any]:
@@ -156,74 +158,96 @@ def apply_config(target: Any, config: SimConfig, profile: Any = None) -> None:
             layer._apply_pla_mode(config.pla_mode)
         layer._apply_mode(config.mode)
     if config.dtype is not None:
-        # Process-wide by design: the compute dtype governs every array the
-        # library materialises, not just this target's layers.  Session
-        # restores the previous policy on exit.
-        set_compute_dtype(config.dtype)
+        # Context-local by design: the compute dtype governs every array the
+        # current context materialises.  Session restores the previous
+        # policy on exit.
+        current_context().set_dtype(config.dtype)
 
 
 class Session:
     """Context manager scoping a :class:`SimConfig` to a ``with`` block.
 
     Entering applies the config atomically (and, when ``config.seed`` is
-    set, seeds the global RNG stream — the config's seed policy); exiting
-    restores every layer's previous simulation state, whether the body
-    completed or raised.  The configured target is returned from
+    set, seeds the bound context's RNG stream — the config's seed policy);
+    exiting restores every layer's previous simulation state, whether the
+    body completed or raised.  The configured target is returned from
     ``__enter__`` for convenience::
 
         with Session(model, SimConfig(mode="noisy", noise_sigma=5.0, pulses=8)):
             accuracy = evaluate_accuracy(model, loader)
         # model is back in whatever state it had before the block
+
+    ``context`` binds the session to an explicit
+    :class:`~repro.context.ExecutionContext`: the context is activated for
+    the duration of the block (so the body's dtype/RNG/grad state resolves
+    there) and the previous binding is restored on exit.  Two threads each
+    binding their *own* context may run sessions with different compute
+    dtypes concurrently — the case the old process-global policy had to
+    forbid.
     """
 
-    def __init__(self, target: Any, config: SimConfig, profile: Any = None):
+    def __init__(
+        self,
+        target: Any,
+        config: SimConfig,
+        profile: Any = None,
+        context: Optional[ExecutionContext] = None,
+    ):
         self.target = target
         self.config = config
         self.profile = profile
+        self.context = context
+        self._scope = None
+        self._bound: Optional[ExecutionContext] = None
         self._saved: Optional[List[_LayerSimState]] = None
         self._saved_dtype: Optional[str] = None
         self._holds_dtype = False
 
     def _register_dtype(self) -> None:
-        """Claim the process dtype policy for this session, or raise.
+        """Claim the bound context's dtype policy for this session, or raise.
 
         Runs *before* any layer is mutated, so a conflicting overlap leaves
-        both the target and the policy exactly as they were.
+        both the target and the policy exactly as they were.  Sessions bound
+        to different contexts never conflict.
         """
         if self.config.dtype is None:
             return
         requested = canonical_dtype_name(self.config.dtype)
-        with _DTYPE_GUARD:
-            conflicting = sorted(
-                {d for d in _ACTIVE_DTYPE_SESSIONS.values() if d != requested}
+        conflicting = self._bound.claim_dtype(id(self), requested)
+        if conflicting:
+            raise ConcurrentDtypeError(
+                f"cannot apply compute dtype {requested!r}: overlapping "
+                f"session(s) on this execution context already hold "
+                f"{conflicting} — sessions sharing one context must agree "
+                f"on one dtype (run conflicting sessions in their own "
+                f"contexts, e.g. Session(..., context=ExecutionContext()))"
             )
-            if conflicting:
-                raise ConcurrentDtypeError(
-                    f"cannot apply compute dtype {requested!r}: overlapping "
-                    f"session(s) already hold {conflicting} and the policy is "
-                    f"process-wide — overlapping sessions must agree on one "
-                    f"dtype (concurrent serving serialises sessions behind "
-                    f"repro.serve's per-process execution lock)"
-                )
-            _ACTIVE_DTYPE_SESSIONS[id(self)] = requested
-            self._holds_dtype = True
+        self._holds_dtype = True
 
     def _unregister_dtype(self) -> None:
         if self._holds_dtype:
-            with _DTYPE_GUARD:
-                _ACTIVE_DTYPE_SESSIONS.pop(id(self), None)
+            self._bound.release_dtype(id(self))
             self._holds_dtype = False
 
     def __enter__(self):
-        saved = capture_sim_state(self.target)
-        saved_dtype = compute_dtype_name()
-        self._register_dtype()
+        if self.context is not None:
+            self._scope = use_context(self.context)
+            self._scope.__enter__()
+        self._bound = current_context()
         try:
-            # apply_config validates before mutating, so a failing enter
-            # leaves the target exactly as it was and nothing needs restoring.
-            apply_config(self.target, self.config, self.profile)
+            saved = capture_sim_state(self.target)
+            saved_dtype = self._bound.dtype_name
+            self._register_dtype()
+            try:
+                # apply_config validates before mutating, so a failing enter
+                # leaves the target exactly as it was and nothing needs
+                # restoring.
+                apply_config(self.target, self.config, self.profile)
+            except BaseException:
+                self._unregister_dtype()
+                raise
         except BaseException:
-            self._unregister_dtype()
+            self._exit_scope()
             raise
         self._saved = saved
         self._saved_dtype = saved_dtype
@@ -231,14 +255,22 @@ class Session:
             seed_everything(self.config.seed)
         return self.target
 
+    def _exit_scope(self) -> None:
+        if self._scope is not None:
+            self._scope.__exit__(None, None, None)
+            self._scope = None
+
     def __exit__(self, exc_type, exc_value, traceback) -> bool:
-        if self._saved is not None:
-            restore_sim_state(self.target, self._saved)
-            self._saved = None
-        if self._saved_dtype is not None:
-            set_compute_dtype(self._saved_dtype)
-            self._saved_dtype = None
-        self._unregister_dtype()
+        try:
+            if self._saved is not None:
+                restore_sim_state(self.target, self._saved)
+                self._saved = None
+            if self._saved_dtype is not None:
+                self._bound.set_dtype(self._saved_dtype)
+                self._saved_dtype = None
+            self._unregister_dtype()
+        finally:
+            self._exit_scope()
         return False
 
 

@@ -1,13 +1,23 @@
-"""Process-level compute-dtype policy (float64 default, float32 opt-in).
+"""Compute-dtype policy facade (float64 default, float32 opt-in).
 
 Every float array the library materialises — tensor storage, gradients,
 weight initialisation, RNG draws, crossbar conductances, im2col buffers —
 resolves its dtype through this module instead of hard-coding ``float64``.
-The policy is a single process-wide value:
+The policy itself lives on the current :class:`repro.context.ExecutionContext`
+(it used to be a module-level global here); these functions are thin
+facades over :func:`repro.context.current_context`, so:
+
+* code that never opts into an explicit context sees one process-wide
+  policy, exactly as before — the default path never changes, so golden
+  schedules, scenario-spec hashes and store keys are untouched;
+* concurrent executions in *different* contexts (serve worker processes,
+  explicitly bound :class:`~repro.sim.Session`\\ s) hold independent
+  policies and cannot clobber each other.
+
+Policy values:
 
 * ``float64`` (the default) reproduces the historical behaviour *bit for
-  bit*: the default path never changes, so golden schedules, scenario-spec
-  hashes and store keys are untouched.
+  bit*.
 * ``float32`` halves the memory bandwidth of every matmul, im2col and noise
   draw on the simulation hot path.  It is strictly opt-in — through
   :func:`set_compute_dtype` / :func:`compute_dtype_scope` directly, or
@@ -28,76 +38,62 @@ from typing import Any, Iterator
 
 import numpy as np
 
-#: The dtypes the policy accepts, keyed by canonical name.
-COMPUTE_DTYPES = {
-    "float32": np.dtype(np.float32),
-    "float64": np.dtype(np.float64),
-}
+from repro.context import (
+    COMPUTE_DTYPES,
+    DEFAULT_COMPUTE_DTYPE,
+    canonical_dtype_name,
+    current_context,
+)
 
-#: Canonical name of the default policy (the historical behaviour).
-DEFAULT_COMPUTE_DTYPE = "float64"
-
-_COMPUTE_DTYPE = COMPUTE_DTYPES[DEFAULT_COMPUTE_DTYPE]
-
-
-def canonical_dtype_name(dtype: Any) -> str:
-    """Canonical policy name (``"float32"`` / ``"float64"``) of ``dtype``.
-
-    Accepts a name, a numpy dtype, or a numpy scalar type; anything outside
-    the supported compute dtypes is rejected loudly — the policy exists to
-    make dtype decisions explicit, not to silently absorb exotic types.
-    """
-    if isinstance(dtype, str):
-        name = dtype
-    else:
-        name = np.dtype(dtype).name
-    if name not in COMPUTE_DTYPES:
-        raise ValueError(
-            f"unsupported compute dtype {dtype!r}; expected one of "
-            f"{sorted(COMPUTE_DTYPES)}"
-        )
-    return name
+__all__ = [
+    "COMPUTE_DTYPES",
+    "DEFAULT_COMPUTE_DTYPE",
+    "canonical_dtype_name",
+    "compute_dtype",
+    "compute_dtype_name",
+    "compute_dtype_scope",
+    "resolve_dtype",
+    "set_compute_dtype",
+]
 
 
 def compute_dtype() -> np.dtype:
-    """The process-wide compute dtype as a numpy dtype."""
-    return _COMPUTE_DTYPE
+    """The current context's compute dtype as a numpy dtype."""
+    return current_context().dtype
 
 
 def compute_dtype_name() -> str:
-    """The process-wide compute dtype's canonical name."""
-    return _COMPUTE_DTYPE.name
+    """The current context's compute dtype's canonical name."""
+    return current_context().dtype.name
 
 
 def set_compute_dtype(dtype: Any) -> np.dtype:
-    """Install a new process-wide compute dtype; returns the previous one.
+    """Install a new compute dtype on the current context; returns the previous.
 
     Only newly materialised arrays are affected — existing tensors keep
     their storage.  For an end-to-end float32 run, build the model (and its
     data) under the policy, e.g. inside :func:`compute_dtype_scope`.
     """
-    global _COMPUTE_DTYPE
-    previous = _COMPUTE_DTYPE
-    _COMPUTE_DTYPE = COMPUTE_DTYPES[canonical_dtype_name(dtype)]
-    return previous
+    return current_context().set_dtype(dtype)
 
 
 @contextlib.contextmanager
 def compute_dtype_scope(dtype: Any) -> Iterator[np.dtype]:
     """Scope the compute dtype to a ``with`` block, restoring on exit."""
-    previous = set_compute_dtype(dtype)
+    context = current_context()
+    previous = context.set_dtype(dtype)
     try:
-        yield _COMPUTE_DTYPE
+        yield context.dtype
     finally:
-        set_compute_dtype(previous)
+        context.set_dtype(previous)
 
 
 def resolve_dtype(dtype: Any = None) -> np.dtype:
-    """``dtype`` as a numpy dtype, defaulting to the process policy.
+    """``dtype`` as a numpy dtype, defaulting to the current context's policy.
 
     The single resolution rule used by every coercion point in the library:
     an explicit dtype wins, ``None`` follows the policy.
     """
     if dtype is None:
-        return _COMPUTE_DTYPE
+        return current_context().dtype
     return np.dtype(dtype)

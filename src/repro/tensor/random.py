@@ -2,9 +2,10 @@
 
 Every stochastic component of the reproduction (weight initialisation,
 data shuffling, crossbar noise sampling, synthetic data generation) draws
-from an explicit :class:`RandomState` or from the module-level default
-generator seeded via :func:`manual_seed`, so all experiments are exactly
-repeatable.
+from an explicit :class:`RandomState` or from the current execution
+context's default generator (see :mod:`repro.context`) seeded via
+:func:`manual_seed`, so all experiments are exactly repeatable.
+
 """
 
 from __future__ import annotations
@@ -143,14 +144,20 @@ class PlannedNormalStream:
         return out
 
 
-_DEFAULT = RandomState(0)
-
-
 def default_rng() -> RandomState:
-    """Return the library-wide default random state."""
-    return _DEFAULT
+    """The current execution context's default random state.
+
+    Formerly a module-level singleton; now resolved through
+    :func:`repro.context.current_context`, so worker processes and
+    explicitly activated contexts each own an independent stream while the
+    default path (no context activated) behaves exactly as the old global:
+    one shared, seed-0 generator per process.
+    """
+    from repro.context import current_context
+
+    return current_context().rng
 
 
 def manual_seed(seed: int) -> None:
-    """Reseed the library-wide default random state."""
-    _DEFAULT.reseed(seed)
+    """Reseed the current context's default random state."""
+    default_rng().reseed(seed)

@@ -18,17 +18,21 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.context import current_context
 from repro.tensor.dtype import resolve_dtype
 
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 
-_GRAD_ENABLED = True
-
 
 def is_grad_enabled() -> bool:
-    """Return ``True`` if gradient recording is currently enabled."""
-    return _GRAD_ENABLED
+    """Return ``True`` if gradient recording is currently enabled.
+
+    The flag lives on the current :class:`repro.context.ExecutionContext`
+    (formerly a module-level global), so disabling gradients in one
+    worker's context never affects another's.
+    """
+    return current_context().grad_enabled
 
 
 @contextlib.contextmanager
@@ -38,14 +42,15 @@ def no_grad():
     Inside a ``with no_grad():`` block all operations behave as pure numpy
     computations; the results have ``requires_grad=False`` and no backward
     functions are recorded.  Used throughout evaluation and inference paths.
+    Scoped to the current execution context.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    context = current_context()
+    previous = context.grad_enabled
+    context.grad_enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        context.grad_enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:

@@ -1,0 +1,34 @@
+"""Fast-loop wiring for the mutable-globals lint.
+
+``benchmarks/`` is auto-marked slow, so the AST checker that keeps
+execution state on :class:`repro.context.ExecutionContext` (instead of
+creeping back into module-level globals) is invoked from here — every
+``-m "not slow"`` run re-lints ``src/repro``.
+"""
+
+from benchmarks.check_no_mutable_globals import ALLOWLIST, check_tree
+
+
+def test_src_repro_has_no_unallowed_module_level_mutable_state():
+    violations = check_tree()
+    assert not violations, "\n".join(
+        f"src/repro/{relpath}:{lineno}: {name} — {kind}"
+        for relpath, lineno, name, kind in violations
+    )
+
+
+def test_allowlist_contains_no_policy_globals():
+    """The allowlist excuses registries and constants, never policy state.
+
+    ``_COMPUTE_DTYPE`` / ``_GRAD_ENABLED`` / ``_DEFAULT`` (RNG) /
+    ``_BUNDLE_CACHE`` must stay on the ExecutionContext; an allowlist entry
+    resurrecting one of them is a regression, not an exemption.
+    """
+    banned = {
+        "_COMPUTE_DTYPE", "_GRAD_ENABLED", "_BUNDLE_CACHE",
+        "_LAYER_COUNT_CACHE", "_WORKER_STAGE_STORE", "_ACTIVE_DTYPE_SESSIONS",
+        "_DTYPE_GUARD",
+    }
+    offenders = {entry for entry in ALLOWLIST if entry[1] in banned}
+    assert not offenders
+    assert ("tensor/random.py", "_DEFAULT") not in ALLOWLIST

@@ -30,9 +30,11 @@ def selftest_spec(value=1, **params):
 class ServerHarness:
     """An EvalServer on an ephemeral port, owned by a background loop thread."""
 
-    def __init__(self, tmp_path):
+    def __init__(self, tmp_path, workers=1):
         self.service = EvalService(
-            ServeConfig(host="127.0.0.1", port=0, workers=1, default_timeout_s=30.0),
+            ServeConfig(
+                host="127.0.0.1", port=0, workers=workers, default_timeout_s=30.0
+            ),
             store=ResultStore(str(tmp_path / "store")),
         )
         self.server = EvalServer(self.service)
@@ -140,6 +142,11 @@ class TestProtocol:
             assert stats["ok"]
             assert stats["stats"]["counters"]["executed"] == 1
             assert "pool" in stats["stats"]
+            workers = stats["stats"]["workers"]
+            assert workers["count"] == 1
+            assert workers["configured"] == 1
+            assert workers["dispatch"] == "inline"
+            assert sum(workers["executed_per_worker"].values()) == 1
             report = call(stream, {"op": "gc", "dry_run": True})
             assert report["ok"]
             assert report["gc"]["pruned"] == 0  # live request protects it
@@ -172,6 +179,68 @@ class TestProtocol:
             assert "selftest scenario failed" in response["error"]
         finally:
             sock.close()
+
+
+class TestParallelDispatch:
+    """Distinct concurrent requests genuinely overlap with ``workers > 1``.
+
+    The selftest scenarios *sleep* rather than compute, so two of them can
+    only finish in ~one sleep's wall time if they really ran concurrently
+    in the engine's worker processes — even on a single-core host.  This is
+    the overlap that used to be impossible behind the global execution
+    lock.
+    """
+
+    def test_distinct_requests_overlap_across_worker_processes(self, tmp_path):
+        import time
+
+        sleep_s = 1.5
+        with ServerHarness(tmp_path, workers=2) as harness:
+            specs = [
+                selftest_spec(value=index, sleep_s=sleep_s) for index in range(2)
+            ]
+            responses = []
+            lock = threading.Lock()
+
+            def client(spec):
+                sock, stream = harness.connect()
+                try:
+                    response = call(
+                        stream, {"op": "submit", "spec": spec, "timeout_s": 120}
+                    )
+                    with lock:
+                        responses.append(response)
+                finally:
+                    sock.close()
+
+            # Warm the spawn pool outside the measured window (process
+            # startup is paid once per server lifetime, not per request).
+            client(selftest_spec(value=99, sleep_s=0.0))
+            responses.clear()
+
+            start = time.perf_counter()
+            threads = [threading.Thread(target=client, args=(s,)) for s in specs]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+
+            assert len(responses) == 2
+            assert all(r["ok"] and r["state"] == "done" for r in responses)
+            assert {r["result"]["value"] for r in responses} == {0, 1}
+            # Serial execution would need >= 2 * sleep_s.
+            assert elapsed < 2 * sleep_s, (
+                f"two {sleep_s}s requests took {elapsed:.2f}s — "
+                f"they did not overlap"
+            )
+
+            stats = harness.service.stats()
+            workers = stats["workers"]
+            assert workers["dispatch"] == "spawn-pool"
+            assert workers["count"] == 2
+            assert stats["counters"]["executed"] == 3  # warm-up + the pair
+            assert sum(workers["executed_per_worker"].values()) == 3
 
 
 @pytest.mark.slow

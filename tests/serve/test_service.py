@@ -276,23 +276,26 @@ class TestModelPool:
             "models_resident": 1,
         }
 
-    def test_eviction_also_drops_module_level_bundle_cache(self):
+    def test_eviction_also_drops_context_bundle_cache(self):
+        from repro.context import current_context
         from repro.experiments import common
+
+        bundles = current_context().bundles
 
         def builder(profile):
             bundle = _StubBundle(profile)
             # Mirror get_pretrained_bundle's memoisation so the test proves
-            # pool eviction actually releases it.
-            common._BUNDLE_CACHE[common.profile_token(profile)] = bundle
+            # pool eviction actually releases it from the execution context.
+            bundles[common.profile_token(profile)] = bundle
             return bundle
 
         pool = ModelPool(max_models=1, builder=builder)
         try:
             pool.bundle_for(self._spec("smoke"))
             smoke_token = pool.tokens()[0]
-            assert smoke_token in common._BUNDLE_CACHE
+            assert smoke_token in bundles
             pool.bundle_for(self._spec("fast"))
-            assert smoke_token not in common._BUNDLE_CACHE
+            assert smoke_token not in bundles
         finally:
             pool.clear()
 

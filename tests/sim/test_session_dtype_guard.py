@@ -1,25 +1,32 @@
-"""Regression tests: the compute-dtype policy is process-wide, so two
-overlapping :class:`Session`\\ s applying *different* dtypes used to clobber
-each other silently — the later ``__exit__`` then restored a stale policy.
-A conflicting overlap now raises :class:`ConcurrentDtypeError` before any
-state is touched; same-dtype nesting and sequential sessions stay allowed
-(the sanctioned concurrent path is ``repro.serve``'s execution lock).
+"""Regression tests for the Session dtype guard — now context-local.
+
+The compute-dtype policy lives on the current
+:class:`repro.context.ExecutionContext`, so two overlapping sessions only
+conflict when they share one context: a conflicting same-context overlap
+raises :class:`ConcurrentDtypeError` before any state is touched, while
+sessions bound to *different* contexts hold different dtypes concurrently
+(see ``tests/context/test_execution_context.py`` for that half).
+Same-dtype nesting and sequential sessions stay allowed.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.context import current_context
 from repro.sim import ConcurrentDtypeError, Session, SimConfig
-from repro.sim.session import _ACTIVE_DTYPE_SESSIONS
 from repro.tensor.dtype import compute_dtype_name
+
+
+def active_dtype_sessions():
+    return current_context().active_dtype_sessions()
 
 
 class TestSessionDtypeGuard:
     def test_conflicting_nested_dtype_raises(self, small_mlp):
         with Session(small_mlp, SimConfig(dtype="float32")):
             assert compute_dtype_name() == "float32"
-            with pytest.raises(ConcurrentDtypeError, match="process-wide"):
+            with pytest.raises(ConcurrentDtypeError, match="sharing one context"):
                 with Session(small_mlp, SimConfig(dtype="float64")):
                     pass  # pragma: no cover - never entered
             # The refused session mutated nothing: policy still float32.
@@ -53,14 +60,14 @@ class TestSessionDtypeGuard:
 
     def test_dtype_free_sessions_never_register(self, small_mlp):
         with Session(small_mlp, SimConfig(mode="noisy", noise_sigma=1.0)):
-            assert not _ACTIVE_DTYPE_SESSIONS
-        assert not _ACTIVE_DTYPE_SESSIONS
+            assert not active_dtype_sessions()
+        assert not active_dtype_sessions()
 
     def test_guard_releases_on_body_exception(self, small_mlp):
         with pytest.raises(RuntimeError, match="boom"):
             with Session(small_mlp, SimConfig(dtype="float32")):
                 raise RuntimeError("boom")
-        assert not _ACTIVE_DTYPE_SESSIONS
+        assert not active_dtype_sessions()
         assert compute_dtype_name() == "float64"
         with Session(small_mlp, SimConfig(dtype="float32")):
             assert compute_dtype_name() == "float32"
