@@ -7,7 +7,8 @@ any recorded ``speedup`` is below its recorded ``min_required_speedup``:
 * ``BENCH_engine.json`` — vectorized vs reference pulsed-MVM (gate >= 10x),
 * ``BENCH_gbo.json``    — vectorized vs reference GBO step    (gate >= 5x),
 * ``BENCH_runner.json`` — scenario-runner suite wall-clock    (gate >= 2x),
-* ``BENCH_serve.json``  — serve cache-hit vs cold latency     (gate >= 50x).
+* ``BENCH_serve.json``  — serve cache-hit vs cold latency     (gate >= 50x),
+* ``BENCH_batch.json``  — batched K=8 multi-scenario read     (gate >= 3x).
 
 The gates travel inside the artifacts themselves (each benchmark records
 the bar it asserted), so this script never drifts from the benchmarks; it
@@ -39,6 +40,7 @@ REQUIRED_ARTIFACTS = (
     "BENCH_gbo.json",
     "BENCH_runner.json",
     "BENCH_serve.json",
+    "BENCH_batch.json",
 )
 
 #: Valid values for a recorded compute dtype (the process dtype policy).
@@ -48,8 +50,9 @@ VALID_COMPUTE_DTYPES = ("float32", "float64")
 #: artifact is gated on a float32 vectorized run vs a float64 reference
 #: oracle, so an artifact that does not say which dtype it measured is not
 #: comparable across commits; the serve artifact records latencies of a
-#: dtype-dependent simulation, so the same rule applies.
-DTYPE_REQUIRED_ARTIFACTS = ("BENCH_gbo.json", "BENCH_serve.json")
+#: dtype-dependent simulation, so the same rule applies; the batch artifact
+#: times the same pulsed-MVM fold at whatever the process dtype policy is.
+DTYPE_REQUIRED_ARTIFACTS = ("BENCH_gbo.json", "BENCH_serve.json", "BENCH_batch.json")
 
 DEFAULT_RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 

@@ -400,6 +400,93 @@ def execute_api_eval_scenario(ctx) -> Dict[str, Any]:
     }
 
 
+def api_eval_batch_key(spec) -> Optional[tuple]:
+    """Stacking-group key of an ``api_eval`` spec, or ``None`` (unbatchable).
+
+    Two specs may share one stacked forward when they agree on the model
+    weights and input pipeline (profile name + overrides), the repeat count,
+    and their configs' :meth:`~repro.sim.SimConfig.compat_key`.  The free
+    axes — sigma, pulses/schedule, relative flag, seed — stay per-scenario.
+    Used by the grid runner and ``repro.serve`` to group pending work.
+    """
+    if spec.experiment != "api_eval" or not spec.sim:
+        return None
+    sim = SimConfig.from_dict(dict(spec.sim))
+    if sim.mode not in ("clean", "noisy"):
+        return None
+    return (
+        spec.profile,
+        spec.overrides,
+        int(spec.param("num_repeats", 1)),
+        sim.compat_key(),
+    )
+
+
+def execute_api_eval_batch(specs, bundle, stage_store=None) -> List[Dict[str, Any]]:
+    """Execute K compatible ``api_eval`` specs in one stacked forward.
+
+    Returns one result dict per spec, in order, each bit-identical to what
+    :func:`execute_api_eval_scenario` produces for that spec alone: the
+    stacked pass shares only the deterministic work (data pipeline, ideal
+    crossbar matmuls per scenario block at the sequential batch size), and
+    scenario ``k`` draws its noise from ``RandomState(derived_seed_k)`` —
+    the very stream ``ctx.reseed()`` would install for its sequential run.
+    Results are still keyed and persisted individually by the caller.
+    """
+    from repro.experiments.runner.scenarios import ScenarioContext
+    from repro.tensor.random import RandomState
+    from repro.training.evaluate import evaluate_multi
+
+    if not specs:
+        return []
+    keys = {api_eval_batch_key(spec) for spec in specs}
+    if len(keys) != 1 or None in keys:
+        raise ValueError(
+            f"specs are not stackable into one api_eval batch (keys: {keys})"
+        )
+    contexts = [
+        ScenarioContext(spec, bundle=bundle, stage_store=stage_store)
+        for spec in specs
+    ]
+    num_repeats = int(specs[0].param("num_repeats", 1))
+    sims = [ctx.sim_config() for ctx in contexts]
+    # Scenario k's stream: a seeded config reseeds at Session enter in the
+    # sequential path, otherwise the runner's ctx.reseed() stream applies.
+    # RandomState(seed) IS that stream (both are numpy default_rng(seed)).
+    rngs = [
+        RandomState(sim.seed if sim.seed is not None else ctx.scenario_seed())
+        for sim, ctx in zip(sims, contexts)
+    ]
+    profile = contexts[0].profile
+    model = bundle.model
+    bundle.restore_pretrained()
+    model.requires_grad_(True)
+    per_scenario = evaluate_multi(
+        model,
+        contexts[0].test_loader,
+        sims,
+        rngs=rngs,
+        profile=profile,
+        num_repeats=num_repeats,
+    )
+    apply_config(model, SimConfig(mode="clean"))
+    results = []
+    for spec, sim, per_repeat in zip(specs, sims, per_scenario):
+        per_repeat = [float(value) for value in per_repeat]
+        results.append(
+            {
+                "experiment": "api_eval",
+                "method": spec.method,
+                "accuracy": float(np.mean(per_repeat)),
+                "per_repeat": per_repeat,
+                "num_repeats": num_repeats,
+                "clean_accuracy": float(bundle.clean_accuracy),
+                "sim": sim.as_dict(),
+            }
+        )
+    return results
+
+
 def run_nia(
     state: PipelineState,
     sim: Optional[SimConfig] = None,

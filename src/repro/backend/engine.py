@@ -87,6 +87,39 @@ class SimulationEngine:
         """
         raise NotImplementedError
 
+    def read_multi(
+        self,
+        crossbar,
+        values: np.ndarray,
+        encoders: Sequence,
+        add_noise: bool = True,
+        rngs: Optional[Sequence[Optional[RandomState]]] = None,
+    ) -> np.ndarray:
+        """One input batch, one weight set, K scenario reads — ``(K, ...)``.
+
+        Scenario ``k`` is defined by ``encoders[k]`` (pulse count / schedule /
+        PLA re-encoding are baked into the encoder) and draws its noise from
+        ``rngs[k]`` — its *own* hash-derived stream, which is what makes the
+        batched result bit-identical per scenario to K sequential
+        :meth:`encoded_read` calls: per-scenario streams are never merged,
+        only the deterministic shared work (encoding round-trip, ideal
+        matmul) is deduplicated by engines that can prove it safe.
+
+        The default implementation *is* the sequential loop — the bit-exact
+        oracle every override must match sample for sample.
+        """
+        if rngs is None:
+            rngs = [None] * len(encoders)
+        if len(rngs) != len(encoders):
+            raise ValueError(
+                f"read_multi got {len(encoders)} encoders but {len(rngs)} rngs"
+            )
+        outputs = [
+            self.encoded_read(crossbar, values, encoder, add_noise=add_noise, rng=rng)
+            for encoder, rng in zip(encoders, rngs)
+        ]
+        return np.stack(outputs, axis=0)
+
     def folded_read_noise(
         self,
         shape: Tuple[int, ...],
@@ -101,6 +134,38 @@ class SimulationEngine:
         pulse-by-pulse or as one folded draw.
         """
         raise NotImplementedError
+
+    def folded_read_noise_multi(
+        self,
+        shape: Tuple[int, ...],
+        sigmas: Sequence[float],
+        pulse_counts: Sequence[float],
+        rngs: Sequence[RandomState],
+    ) -> np.ndarray:
+        """K scenarios' folded read noise as one ``(K, *shape)`` buffer.
+
+        Scenario ``k`` consumes exactly the samples :meth:`folded_read_noise`
+        would draw from ``rngs[k]`` (zero-sigma scenarios draw nothing), so
+        a stacked forward that adds slice ``k`` to scenario ``k``'s block is
+        bit-identical to the sequential per-scenario forward.  The buffer is
+        assembled here — in the same single-materialisation style as
+        :meth:`plan_gbo_noise` — because the per-scenario streams are
+        independent by construction and can never legally merge into one
+        draw.
+        """
+        if not len(sigmas) == len(pulse_counts) == len(rngs):
+            raise ValueError(
+                f"folded_read_noise_multi got mismatched scenario packs: "
+                f"{len(sigmas)} sigmas, {len(pulse_counts)} pulse counts, "
+                f"{len(rngs)} rngs"
+            )
+        from repro.tensor.dtype import resolve_dtype
+
+        buffer = np.zeros((len(sigmas),) + tuple(shape), dtype=resolve_dtype())
+        for index, (sigma, pulses, rng) in enumerate(zip(sigmas, pulse_counts, rngs)):
+            if sigma > 0.0:
+                buffer[index] = self.folded_read_noise(shape, sigma, pulses, rng)
+        return buffer
 
     def gbo_mixture_noise(
         self,

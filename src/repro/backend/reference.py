@@ -42,6 +42,19 @@ class ReferenceEngine(SimulationEngine):
             output = weighted if output is None else output + weighted
         return output
 
+    def read_multi(
+        self,
+        crossbar,
+        values: np.ndarray,
+        encoders: Sequence,
+        add_noise: bool = True,
+        rngs: Optional[Sequence[Optional[RandomState]]] = None,
+    ) -> np.ndarray:
+        # The scenario axis executed literally: K full sequential reads, one
+        # per scenario, each from its own stream — the oracle the vectorized
+        # engine's shared-matmul fold is bit-compared against.
+        return super().read_multi(crossbar, values, encoders, add_noise=add_noise, rngs=rngs)
+
     def folded_read_noise(
         self,
         shape: Tuple[int, ...],

@@ -37,7 +37,13 @@ from repro.crossbar.encoding import (
 )
 from repro.crossbar.array import CrossbarArray, CrossbarConfig
 from repro.crossbar.tiling import TiledCrossbar
-from repro.crossbar.mvm import pulsed_mvm, bit_sliced_mvm, thermometer_mvm, folded_noisy_mvm
+from repro.crossbar.mvm import (
+    pulsed_mvm,
+    pulsed_mvm_multi,
+    bit_sliced_mvm,
+    thermometer_mvm,
+    folded_noisy_mvm,
+)
 from repro.crossbar.analysis import (
     bit_slicing_noise_variance,
     thermometer_noise_variance,
@@ -71,6 +77,7 @@ __all__ = [
     "CrossbarConfig",
     "TiledCrossbar",
     "pulsed_mvm",
+    "pulsed_mvm_multi",
     "bit_sliced_mvm",
     "thermometer_mvm",
     "folded_noisy_mvm",

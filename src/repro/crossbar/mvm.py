@@ -45,6 +45,7 @@ def pulsed_mvm(
     encoder: Union[ThermometerEncoder, BitSlicingEncoder],
     add_noise: bool = True,
     engine=None,
+    rng: Optional[RandomState] = None,
 ) -> np.ndarray:
     """Drive ``values`` through ``crossbar`` as a train of binary pulses.
 
@@ -61,10 +62,37 @@ def pulsed_mvm(
     engine:
         Simulation engine (instance or registry name) executing the reads;
         defaults to :func:`repro.backend.default_engine`.
+    rng:
+        Random state for the noise draws; defaults to the crossbar's own.
     """
     from repro.backend import resolve_engine
 
-    return resolve_engine(engine).encoded_read(crossbar, values, encoder, add_noise=add_noise)
+    return resolve_engine(engine).encoded_read(
+        crossbar, values, encoder, add_noise=add_noise, rng=rng
+    )
+
+
+def pulsed_mvm_multi(
+    crossbar: Crossbar,
+    values: np.ndarray,
+    encoders,
+    add_noise: bool = True,
+    engine=None,
+    rngs=None,
+) -> np.ndarray:
+    """K compatible scenario reads of one input batch — ``(K, ..., out)``.
+
+    Scenario ``k`` is one (encoder, rng) pack; the result's slice ``k`` is
+    bit-identical to ``pulsed_mvm(crossbar, values, encoders[k],
+    rng=rngs[k])`` because each scenario keeps its own noise stream and the
+    engine only deduplicates the deterministic shared work (see
+    :meth:`repro.backend.engine.SimulationEngine.read_multi`).
+    """
+    from repro.backend import resolve_engine
+
+    return resolve_engine(engine).read_multi(
+        crossbar, values, encoders, add_noise=add_noise, rngs=rngs
+    )
 
 
 def bit_sliced_mvm(

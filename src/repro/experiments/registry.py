@@ -241,13 +241,16 @@ def run_experiment(
     engine: Optional[str] = None,
     resume: bool = True,
     bundle: Optional[ExperimentBundle] = None,
+    batch: bool = True,
 ):
     """Run one registered experiment through the scenario runner.
 
     Returns ``(assembled result, GridRunResult)``.  This is the CLI's and
     the examples' entry point: grid construction, execution (serial,
     parallel or resumed) and assembly all flow through the registry so every
-    consumer sees the same scenarios.
+    consumer sees the same scenarios.  ``batch`` (default on) lets the
+    serial path stack compatible sibling ``api_eval`` scenarios into one
+    multi-scenario forward; results are bit-identical either way.
     """
     from repro.experiments.runner.executor import run_grid
 
@@ -264,7 +267,9 @@ def run_experiment(
         profile = bundle.profile
 
     grid = pin_grid_engine(spec.grid(profile), engine)
-    outcome = run_grid(grid, workers=workers, store=store, bundle=bundle, resume=resume)
+    outcome = run_grid(
+        grid, workers=workers, store=store, bundle=bundle, resume=resume, batch=batch
+    )
     assembled = spec.assemble(grid, outcome.results, bundle)
     return assembled, outcome
 

@@ -150,6 +150,31 @@ def _worker_run(payload: Dict[str, Any]) -> Tuple[str, Dict[str, Any], float]:
     return spec.hash, result, time.perf_counter() - start
 
 
+def _worker_run_batch(
+    payloads: Sequence[Dict[str, Any]],
+) -> Tuple[List[str], List[Dict[str, Any]], float]:
+    """Execute one stacked ``api_eval`` batch inside a worker process.
+
+    Used by ``repro.serve``'s parallel dispatch: the whole compatible group
+    ships to ONE worker, which runs it as a single stacked forward via
+    :func:`repro.api.execute_api_eval_batch` (per-spec results bit-identical
+    to individual execution, see there).
+    """
+    from repro.api import execute_api_eval_batch
+    from repro.context import current_context
+
+    specs = [ScenarioSpec.from_dict(payload) for payload in payloads]
+    stage_store = current_context().stage_store
+    if stage_store is None:
+        stage_store = MemoryStore()
+    profile = get_profile(specs[0].profile).with_overrides(**specs[0].override_dict())
+    bundle = get_pretrained_bundle(profile)
+    start = time.perf_counter()
+    results = execute_api_eval_batch(specs, bundle=bundle, stage_store=stage_store)
+    elapsed = time.perf_counter() - start
+    return [spec.hash for spec in specs], results, elapsed
+
+
 def _worker_ping() -> int:
     """No-op task used to force eager worker spawn (see spawn_worker_pool)."""
     return os.getpid()
@@ -261,12 +286,37 @@ def _run_parallel(
             raise GridExecutionError(failures, completed=outcome.executed)
 
 
+def _stack_groups(pending: Sequence[ScenarioSpec]) -> Dict[str, List[ScenarioSpec]]:
+    """Map spec hash -> its stackable sibling group (only groups of >= 2).
+
+    Groups compatible ``api_eval`` scenarios (same profile+overrides, repeat
+    count and :meth:`SimConfig.compat_key`; see
+    :func:`repro.api.api_eval_batch_key`) so the serial path can evaluate
+    each group in one stacked forward.  Results stay keyed per spec and
+    bit-identical to sequential execution, so resume/caching is unaffected.
+    """
+    from repro.api import api_eval_batch_key
+
+    by_key: Dict[Any, List[ScenarioSpec]] = {}
+    for spec in pending:
+        key = api_eval_batch_key(spec)
+        if key is not None:
+            by_key.setdefault(key, []).append(spec)
+    groups: Dict[str, List[ScenarioSpec]] = {}
+    for members in by_key.values():
+        if len(members) >= 2:
+            for member in members:
+                groups[member.hash] = members
+    return groups
+
+
 def run_grid(
     grid: ScenarioGrid,
     workers: int = 0,
     store: Optional[ResultStore] = None,
     bundle=None,
     resume: bool = True,
+    batch: bool = True,
 ) -> GridRunResult:
     """Execute every scenario of ``grid`` and return all results.
 
@@ -287,6 +337,12 @@ def run_grid(
         specs whose profile matches it.
     resume:
         Set to ``False`` to recompute every scenario even on store hits.
+    batch:
+        Stack compatible sibling ``api_eval`` scenarios into one batched
+        multi-scenario forward on the serial path (default on; results are
+        bit-identical per scenario and still persisted individually —
+        serial == batched == parallel == resume).  Parallel mode already
+        overlaps scenarios across workers and ignores this flag.
     """
     start = time.perf_counter()
     outcome = GridRunResult(grid=grid, results={}, workers=max(workers, 0))
@@ -304,15 +360,12 @@ def run_grid(
     if pending and workers > 1:
         _run_parallel(pending, workers, store, outcome)
     else:
+        groups = _stack_groups(pending) if batch else {}
         bundles: Dict[str, Any] = {}
         touched: Dict[int, Any] = {}
-        for spec in pending:
-            spec_bundle = _bundle_for(spec, bundles, explicit_bundle=bundle)
-            if spec_bundle is not None:
-                touched[id(spec_bundle)] = spec_bundle
-            scenario_start = time.perf_counter()
-            result = execute_scenario(spec, bundle=spec_bundle, stage_store=stage_store)
-            elapsed = time.perf_counter() - scenario_start
+        done_hashes = set()
+
+        def _record(spec, result, elapsed):
             if store is not None:
                 result = store.put(spec, result)
             else:
@@ -320,6 +373,36 @@ def run_grid(
             outcome.results[spec.hash] = result
             outcome.per_scenario_s[spec.hash] = elapsed
             outcome.executed += 1
+            done_hashes.add(spec.hash)
+
+        for spec in pending:
+            if spec.hash in done_hashes:
+                continue
+            members = groups.get(spec.hash)
+            spec_bundle = _bundle_for(spec, bundles, explicit_bundle=bundle)
+            if spec_bundle is not None:
+                touched[id(spec_bundle)] = spec_bundle
+            scenario_start = time.perf_counter()
+            if members is not None:
+                from repro.api import execute_api_eval_batch
+
+                results = execute_api_eval_batch(
+                    members, bundle=spec_bundle, stage_store=stage_store
+                )
+                elapsed = time.perf_counter() - scenario_start
+                for member, result in zip(members, results):
+                    _record(member, result, elapsed / len(members))
+                LOGGER.info(
+                    "stacked %d compatible scenarios in %.2fs (%d/%d)",
+                    len(members),
+                    elapsed,
+                    outcome.executed + outcome.cached,
+                    len(grid),
+                )
+                continue
+            result = execute_scenario(spec, bundle=spec_bundle, stage_store=stage_store)
+            elapsed = time.perf_counter() - scenario_start
+            _record(spec, result, elapsed)
             LOGGER.info(
                 "scenario %s done in %.2fs (%d/%d)",
                 spec.label(),

@@ -28,7 +28,9 @@ from repro.sim.config import (
     SimConfig,
     engine_name,
     resolve_engine_name,
+    stack_configs,
 )
+from repro.sim.multi import MultiSession
 from repro.sim.session import (
     ConcurrentDtypeError,
     Session,
@@ -43,6 +45,7 @@ __all__ = [
     "FORWARD_MODES",
     "PLA_MODES",
     "ConcurrentDtypeError",
+    "MultiSession",
     "SimConfig",
     "Session",
     "apply_config",
@@ -51,4 +54,5 @@ __all__ = [
     "engine_name",
     "resolve_engine_name",
     "restore_sim_state",
+    "stack_configs",
 ]

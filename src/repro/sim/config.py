@@ -35,7 +35,7 @@ import json
 import os
 from dataclasses import dataclass, replace
 from functools import cached_property
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.tensor.dtype import canonical_dtype_name
 from repro.utils.deprecation import warn_deprecated
@@ -263,3 +263,48 @@ class SimConfig:
     def resolved_engine(self, profile: Any = None) -> str:
         """This config's concrete engine name under the one precedence rule."""
         return resolve_engine_name(self.engine, profile)
+
+    # ------------------------------------------------------------------
+    # Multi-scenario stacking
+    # ------------------------------------------------------------------
+    def compat_key(self, profile: Any = None) -> Tuple[Any, ...]:
+        """Grouping key for the batched multi-scenario forward.
+
+        Two configs may share one stacked forward pass only when they agree
+        on everything that changes *how* the shared input batch is computed
+        rather than *which* noise realisation lands on it: the resolved
+        engine, the PLA rounding mode and the compute dtype.  The axes that
+        remain free per scenario — the ``clean``/``noisy`` mode,
+        ``noise_sigma``, ``pulses``/schedule, ``sigma_relative_to_fan_in``
+        and ``seed`` — are exactly the per-scenario parameter packs of
+        :meth:`repro.backend.engine.SimulationEngine.read_multi`.  Weights
+        and the input pipeline are not part of a config; callers enforce
+        those by only grouping scenarios of one profile/bundle.
+        """
+        return (
+            self.resolved_engine(profile),
+            self.pla_mode,
+            self.dtype,
+        )
+
+
+def stack_configs(configs: Sequence["SimConfig"], profile: Any = None) -> list:
+    """Partition configs into stackable groups (lists of indices).
+
+    Groups are keyed by :meth:`SimConfig.compat_key` and preserve first-seen
+    order, both across groups and within one; a singleton group means the
+    scenario runs sequentially.  Only ``"clean"``/``"noisy"`` scenarios are
+    stackable — ``"gbo"`` forwards train logits in place and never batch.
+    """
+    groups: Dict[Tuple[Any, ...], list] = {}
+    order = []
+    for index, config in enumerate(configs):
+        if config.mode not in ("clean", "noisy"):
+            key = ("__unstackable__", index)
+        else:
+            key = config.compat_key(profile)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(index)
+    return [groups[key] for key in order]

@@ -1,0 +1,260 @@
+""":class:`MultiSession` — K compatible :class:`SimConfig`\\ s, one stacked pass.
+
+Every scenario sweep in this repro (fig1b sigma sweeps, table cells, distinct
+serve requests) pushes the *same* clean input batch through the *same*
+weights; only the noise realisation, pulse schedule and PLA re-encoding
+differ per scenario.  A :class:`MultiSession` exploits that: it configures a
+model so that one forward pass evaluates K scenarios at once, sharing the
+deterministic work (quantisation, im2col, the ideal crossbar matmuls) and
+keeping only the per-scenario noise draws O(K).
+
+Bit-identity per scenario — the contract and why it holds
+---------------------------------------------------------
+The stacked forward is **bit-identical per scenario** to K sequential
+:class:`~repro.sim.Session` evaluations, by construction:
+
+* **Lazy expansion.**  A pass starts at the shared batch size ``N`` and only
+  expands to a stacked ``K*N`` batch at the first layer where scenarios
+  diverge (different PLA re-encoding, or any scenario adding noise).  While
+  shared, every op is literally the sequential op.
+* **Per-scenario-block matmuls.**  After expansion, each encoded layer runs
+  its ideal read *per scenario block at exactly batch N* — never as one
+  fused ``K*N`` matmul — because BLAS kernels dispatch by shape and a fused
+  matmul is not bit-identical to the sequential one.  All non-matmul ops
+  (quantisation, BN in eval mode, activations, pooling, im2col gathers) are
+  per-sample, so running them stacked is exact.  This requires every
+  matmul-bearing layer of the model to be an encoded layer, which holds for
+  all models in this repro.
+* **Per-scenario streams.**  Scenario ``k`` draws all its noise from its own
+  ``rngs[k]`` in forward-layer order — exactly the samples the sequential
+  run consumes from the context stream after ``seed_everything(seed_k)``,
+  because ``RandomState(seed)`` and a reseeded context stream are the same
+  ``numpy.random.default_rng(seed)`` stream.  Zero-sigma layers and clean
+  scenarios draw nothing in either path.  The streams are never merged into
+  one draw (see
+  :meth:`~repro.backend.engine.SimulationEngine.folded_read_noise_multi`).
+
+Compatibility is decided by :meth:`SimConfig.compat_key` (same resolved
+engine, mode, PLA rounding mode and dtype; sigma / pulses / relative flag /
+seed are free per scenario); :func:`repro.sim.config.stack_configs` groups a
+list of configs accordingly.  The multi-scenario forward is inference-only:
+it stitches per-scenario blocks as raw arrays, so no gradient graph crosses
+a stacked layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.sim.config import SimConfig, stack_configs
+from repro.sim.session import Session, _schedule_for, capture_sim_state, encoded_layers_of
+from repro.tensor.random import RandomState, default_rng
+
+
+@dataclass
+class _ScenarioPack:
+    """One scenario's parameters at one layer, fully resolved."""
+
+    noisy: bool
+    num_pulses: int
+    sigma: float
+    relative: bool
+    pla_mode: str
+    rng: RandomState
+
+
+class _PassState:
+    """Shared per-forward-pass flag: has the batch expanded to ``K*N`` yet?"""
+
+    __slots__ = ("expanded",)
+
+    def __init__(self) -> None:
+        self.expanded = False
+
+
+class _LayerMultiState:
+    """Attached to each encoded layer for the session's duration."""
+
+    __slots__ = ("packs", "pass_state")
+
+    def __init__(self, packs: List[_ScenarioPack], pass_state: _PassState) -> None:
+        self.packs = packs
+        self.pass_state = pass_state
+
+
+def _default_rngs(configs: Sequence[SimConfig]) -> List[RandomState]:
+    """One independent stream per scenario.
+
+    A seeded config gets the stream a sequential seeded run would use
+    (``RandomState(seed)`` equals the context stream after
+    ``seed_everything(seed)``); an unseeded config gets a fresh spawned
+    stream — independent and reproducible only relative to the current
+    context state, so callers wanting sequential bit-identity must pass
+    explicit per-scenario rngs (the runner does, derived from spec hashes).
+    """
+    return [
+        RandomState(config.seed) if config.seed is not None else default_rng().spawn()
+        for config in configs
+    ]
+
+
+class MultiSession:
+    """Configure a model to evaluate K compatible configs in one pass.
+
+    Usage mirrors :class:`~repro.sim.Session`::
+
+        with MultiSession(model, configs, rngs=rngs) as session:
+            for inputs, targets in loader:
+                session.begin_pass()
+                logits = model(Tensor(inputs))          # (N,) or (K*N, ...)
+                blocks = session.split_logits(logits, len(targets))
+
+    Entering validates compatibility (:meth:`SimConfig.compat_key` — raises
+    ``ValueError`` on a mixed group), snapshots and pins the model through an
+    inner :class:`Session` (engine pin, dtype claim, state restore on exit),
+    and attaches per-layer scenario packs; exiting detaches them and
+    restores the model, even when the body raises.
+
+    ``begin_pass()`` must be called before each forward: it resets the
+    lazy-expansion flag so a batch starts shared and expands at the first
+    genuinely divergent layer.
+    """
+
+    def __init__(
+        self,
+        target: Any,
+        configs: Sequence[SimConfig],
+        rngs: Optional[Sequence[RandomState]] = None,
+        profile: Any = None,
+    ):
+        configs = list(configs)
+        if not configs:
+            raise ValueError("MultiSession needs at least one SimConfig")
+        for config in configs:
+            if config.mode not in ("clean", "noisy"):
+                raise ValueError(
+                    f"MultiSession only stacks clean/noisy scenarios, got mode "
+                    f"{config.mode!r}"
+                )
+        groups = stack_configs(configs, profile)
+        if len(groups) != 1:
+            keys = sorted({str(c.compat_key(profile)) for c in configs})
+            raise ValueError(
+                f"configs are not stackable: {len(groups)} compatibility "
+                f"groups (keys: {keys}); group them with "
+                f"repro.sim.stack_configs() first"
+            )
+        if rngs is not None:
+            rngs = list(rngs)
+            if len(rngs) != len(configs):
+                raise ValueError(
+                    f"MultiSession got {len(configs)} configs but {len(rngs)} rngs"
+                )
+        self.configs = configs
+        self.rngs = rngs
+        self.profile = profile
+        self.target = target
+        self._session: Optional[Session] = None
+        self._layers: List[Any] = []
+        self._pass_state = _PassState()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_scenarios(self) -> int:
+        return len(self.configs)
+
+    @property
+    def expanded(self) -> bool:
+        """Did the current pass expand to a stacked ``K*N`` batch?"""
+        return self._pass_state.expanded
+
+    def begin_pass(self) -> None:
+        """Reset lazy expansion; call before every forward pass."""
+        self._pass_state.expanded = False
+
+    def split_logits(self, logits, batch_size: int) -> List[Any]:
+        """Per-scenario logit blocks of one forward's output.
+
+        When the pass never expanded (all scenarios were identical on this
+        batch — e.g. all clean, zero sigma) every scenario shares the one
+        block; otherwise block ``k`` is rows ``[k*N, (k+1)*N)``.
+        """
+        if not self.expanded:
+            return [logits] * self.num_scenarios
+        data = logits.data if hasattr(logits, "data") else logits
+        if data.shape[0] != self.num_scenarios * batch_size:
+            raise ValueError(
+                f"expanded logits have {data.shape[0]} rows; expected "
+                f"{self.num_scenarios} x {batch_size}"
+            )
+        from repro.tensor import Tensor
+
+        return [
+            Tensor(data[k * batch_size : (k + 1) * batch_size])
+            for k in range(self.num_scenarios)
+        ]
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "MultiSession":
+        reference = self.configs[0]
+        base = SimConfig(
+            engine=reference.resolved_engine(self.profile),
+            mode="clean",
+            dtype=reference.dtype,
+        )
+        session = Session(self.target, base, self.profile)
+        session.__enter__()
+        try:
+            layers = encoded_layers_of(self.target)
+            self._layers = layers
+            captured = session._saved  # pre-apply snapshot: "keep current" base
+            rngs = self.rngs if self.rngs is not None else _default_rngs(self.configs)
+            schedules = [
+                _schedule_for(config, len(layers)) for config in self.configs
+            ]
+            self._pass_state.expanded = False
+            for index, (layer, state) in enumerate(zip(layers, captured)):
+                packs = []
+                for config, schedule, rng in zip(self.configs, schedules, rngs):
+                    packs.append(
+                        _ScenarioPack(
+                            noisy=config.mode == "noisy",
+                            num_pulses=(
+                                schedule[index] if schedule is not None else state.num_pulses
+                            ),
+                            sigma=config.noise_sigma,
+                            relative=(
+                                config.sigma_relative_to_fan_in
+                                if config.sigma_relative_to_fan_in is not None
+                                else state.sigma_relative_to_fan_in
+                            ),
+                            pla_mode=(
+                                config.pla_mode
+                                if config.pla_mode is not None
+                                else state.pla_mode
+                            ),
+                            rng=rng,
+                        )
+                    )
+                layer._multi_state = _LayerMultiState(packs, self._pass_state)
+        except BaseException:
+            self._detach()
+            session.__exit__(None, None, None)
+            raise
+        self._session = session
+        return self
+
+    def _detach(self) -> None:
+        for layer in getattr(self, "_layers", []):
+            layer._multi_state = None
+        self._layers = []
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        try:
+            self._detach()
+        finally:
+            if self._session is not None:
+                self._session.__exit__(exc_type, exc_value, traceback)
+                self._session = None
+        return False

@@ -81,13 +81,41 @@ def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
     """Rearrange image patches into columns (pure numpy, no gradient).
 
     Returns an array of shape ``(C*K*K, N*out_h*out_w)`` whose row index is
-    ``c*K*K + ki*K + kj`` and whose column index is ``(oh*out_w + ow)*N + n``
-    — strided sliding windows instead of a fancy-index gather, which is
-    substantially faster on conv-sized workloads.
+    ``c*K*K + ki*K + kj`` and whose column index is ``(oh*out_w + ow)*N + n``.
+
+    Stride-1 windows (every convolution in the model zoo) take the
+    :func:`col2im`-mirrored path: one transpose into ``(C, H, W, N)`` layout
+    with the padding fused into the destination allocation, then ``K*K``
+    near-contiguous block copies into the output's own memory order — the
+    output reshape is free.  That replaces the old 6-D
+    ``transpose(...).reshape`` of a sliding-window view, whose scattered
+    gather dominated the conv forward (2-3x slower on VGG-block shapes).
+    Strided windows (pooling) keep the sliding-window gather, which wins
+    there.  Both paths copy the same elements, so they are bit-identical.
     """
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    if stride == 1:
+        if padding > 0:
+            img = np.zeros(
+                (channels, height + 2 * padding, width + 2 * padding, batch),
+                dtype=x.dtype,
+            )
+            img[:, padding : padding + height, padding : padding + width, :] = (
+                x.transpose(1, 2, 3, 0)
+            )
+        else:
+            img = np.ascontiguousarray(x.transpose(1, 2, 3, 0))
+        blocks = np.empty(
+            (channels, kernel, kernel, out_h, out_w, batch), dtype=x.dtype
+        )
+        for ki in range(kernel):
+            for kj in range(kernel):
+                blocks[:, ki, kj] = img[:, ki : ki + out_h, kj : kj + out_w, :]
+        return blocks.reshape(channels * kernel * kernel, out_h * out_w * batch)
     if padding > 0:
         x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    channels = x.shape[1]
     windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride]  # (N, C, out_h, out_w, K, K)
     return windows.transpose(1, 4, 5, 2, 3, 0).reshape(kernel * kernel * channels, -1)

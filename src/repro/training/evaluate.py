@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.schedule import PulseSchedule
-from repro.sim import SimConfig, Session, engine_name
+from repro.sim import MultiSession, SimConfig, Session, engine_name
 from repro.tensor import Tensor, no_grad
 from repro.tensor import functional as F
 from repro.training.metrics import AverageMeter, accuracy_from_logits
@@ -31,6 +31,55 @@ def evaluate_accuracy(model, loader) -> float:
     if was_training:
         model.train()
     return meter.average
+
+
+def evaluate_multi(
+    model,
+    loader,
+    sims: Sequence[SimConfig],
+    rngs: Optional[Sequence[Any]] = None,
+    profile: Any = None,
+    num_repeats: int = 1,
+) -> List[List[float]]:
+    """Top-1 accuracy of K compatible configs in one stacked pass per batch.
+
+    Returns ``accuracies[k][r]`` — scenario ``k``'s accuracy on repeat
+    ``r`` — exactly the numbers K sequential
+    ``Session``/:func:`evaluate_accuracy` runs would produce, bit for bit,
+    *when* each scenario is given the stream its sequential run would use
+    (``rngs[k] = RandomState(seed_k)`` for a run seeded with ``seed_k``; the
+    scenario runner derives these from spec hashes).  With ``rngs=None``,
+    seeded configs get their own seed's stream and unseeded configs get
+    fresh spawned streams — independent but not sequential-matching.
+
+    The shared work (data loading, quantisation, im2col, ideal crossbar
+    matmuls, and every layer before the first scenario divergence) is done
+    once per batch instead of K times; see :class:`repro.sim.MultiSession`
+    for the bit-identity argument.  Repeats continue each scenario's stream
+    inside one session, matching the sequential ``num_repeats`` loop.
+    """
+    if num_repeats < 1:
+        raise ValueError(f"num_repeats must be positive, got {num_repeats}")
+    was_training = model.training
+    model.eval()
+    num_scenarios = len(sims)
+    accuracies: List[List[float]] = [[] for _ in range(num_scenarios)]
+    with MultiSession(model, sims, rngs=rngs, profile=profile) as session, no_grad():
+        for _ in range(num_repeats):
+            meters = [AverageMeter("accuracy") for _ in range(num_scenarios)]
+            for inputs, targets in loader:
+                session.begin_pass()
+                logits = model(Tensor(inputs))
+                blocks = session.split_logits(logits, len(targets))
+                for meter, block in zip(meters, blocks):
+                    meter.update(
+                        accuracy_from_logits(block, targets), weight=len(targets)
+                    )
+            for scenario, meter in zip(accuracies, meters):
+                scenario.append(meter.average)
+    if was_training:
+        model.train()
+    return accuracies
 
 
 def evaluate_loss(model, loader) -> float:

@@ -349,6 +349,94 @@ class TestApiEvalEndToEnd:
             clear_bundle_cache()
 
 
+class TestBatchingConfig:
+    def test_batching_disabled_by_default(self, tmp_path):
+        service = EvalService(
+            ServeConfig(workers=1), store=ResultStore(str(tmp_path / "s"))
+        )
+        assert not service.batching_enabled
+        assert service.stats()["batching"]["enabled"] is False
+
+    def test_non_batchable_specs_run_normally_under_batching(self, tmp_path):
+        # selftest specs are never batchable (not api_eval): with the
+        # window on they must still execute one by one, counters untouched.
+        service = EvalService(
+            ServeConfig(workers=1, batch_window_s=0.05, max_batch=4),
+            store=ResultStore(str(tmp_path / "s")),
+        )
+        service.start()
+        try:
+            records = [
+                service.submit(selftest_payload(value=v)) for v in (1, 2, 3)
+            ]
+            assert all(record.wait(10.0) for record in records)
+            assert {record.state for record in records} == {DONE}
+            assert service.counters["executed"] == 3
+            assert service.counters["batched"] == 0
+            assert service.counters["batches"] == 0
+        finally:
+            service.stop()
+
+
+@pytest.mark.slow
+class TestServeBatchingEndToEnd:
+    """Micro-batching with a real (smoke-profile) model.
+
+    Distinct compatible requests submitted within the window execute as one
+    stacked forward; results must be bit-identical to an unbatched server's
+    (the stacked forward runs each scenario's ideal reads at the sequential
+    batch size and draws from per-scenario streams — see
+    ``tests/backend/test_multi_scenario.py`` for the layer-by-layer
+    argument).
+    """
+
+    SIGMAS = (2.0, 3.0, 4.0, 5.0)
+
+    def _payloads(self):
+        return [
+            {"profile": "smoke", "sim": {"mode": "noisy", "noise_sigma": sigma}}
+            for sigma in self.SIGMAS
+        ]
+
+    def _run(self, config, tmp_path, name):
+        service = EvalService(
+            config, store=ResultStore(str(tmp_path / name / "runner"))
+        )
+        service.start()
+        try:
+            records = [service.submit(payload) for payload in self._payloads()]
+            assert all(record.wait(300.0) for record in records)
+            assert {record.state for record in records} == {DONE}, [
+                record.error for record in records
+            ]
+            return [record.result for record in records], service.stats()
+        finally:
+            service.stop()
+
+    def test_batched_distinct_requests_match_unbatched(self, tmp_path, monkeypatch):
+        from repro.experiments.common import clear_bundle_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        clear_bundle_cache()
+        try:
+            batched, stats = self._run(
+                ServeConfig(workers=1, batch_window_s=0.5, max_batch=8),
+                tmp_path,
+                "batched",
+            )
+            unbatched, _ = self._run(
+                ServeConfig(workers=1), tmp_path, "unbatched"
+            )
+            assert batched == unbatched
+            assert stats["counters"]["executed"] == len(self.SIGMAS)
+            assert stats["counters"]["batched"] >= 2
+            assert stats["counters"]["batches"] >= 1
+            assert stats["batching"]["enabled"] is True
+            assert stats["batching"]["avg_width"] > 1.0
+        finally:
+            clear_bundle_cache()
+
+
 class TestRequestTable:
     def test_history_eviction_keeps_in_flight_records(self):
         table = RequestTable(max_history=2)
