@@ -8,7 +8,8 @@ any recorded ``speedup`` is below its recorded ``min_required_speedup``:
 * ``BENCH_gbo.json``    — vectorized vs reference GBO step    (gate >= 5x),
 * ``BENCH_runner.json`` — scenario-runner suite wall-clock    (gate >= 2x),
 * ``BENCH_serve.json``  — serve cache-hit vs cold latency     (gate >= 50x),
-* ``BENCH_batch.json``  — batched K=8 multi-scenario read     (gate >= 3x).
+* ``BENCH_batch.json``  — batched K=8 multi-scenario read     (gate >= 3x),
+* ``BENCH_dist.json``   — distributed drain / lease reclaim   (gate >= 1.5x).
 
 The gates travel inside the artifacts themselves (each benchmark records
 the bar it asserted), so this script never drifts from the benchmarks; it
@@ -41,6 +42,7 @@ REQUIRED_ARTIFACTS = (
     "BENCH_runner.json",
     "BENCH_serve.json",
     "BENCH_batch.json",
+    "BENCH_dist.json",
 )
 
 #: Valid values for a recorded compute dtype (the process dtype policy).
@@ -100,7 +102,7 @@ def check_gates(results_dir: str = DEFAULT_RESULTS_DIR) -> Tuple[List[str], List
                 )
             else:
                 detail += f"  (compute_dtype: {dtype})"
-        lines.append(f"  [{status}] {name:<22} speedup {speedup:7.1f}x  gate >= {gate:.0f}x{detail}")
+        lines.append(f"  [{status}] {name:<22} speedup {speedup:7.1f}x  gate >= {gate:g}x{detail}")
         if speedup < gate:
             failures.append(f"{name}: recorded speedup {speedup:.2f}x below gate {gate:.2f}x")
 

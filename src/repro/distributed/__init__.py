@@ -1,0 +1,54 @@
+"""Distributed grid execution: lease-based work-stealing over a shared store.
+
+The third execution backend of the scenario runner (after the serial
+oracle and the spawn pool): any number of independent worker *processes* —
+started by hand, by a scheduler, or on several hosts sharing a synced
+store directory — cooperatively drain one
+:class:`~repro.experiments.runner.spec.ScenarioGrid` with no coordinator.
+All shared state is files under the store root:
+
+* ``results/`` + ``stages/`` — the content-addressed
+  :class:`~repro.experiments.runner.store.ResultStore` (a scenario is done
+  when its result file exists);
+* ``leases/`` — in-flight claims (:mod:`repro.distributed.lease`): atomic
+  O_EXCL creation is the claim, a heartbeat on the file's mtime is
+  liveness, and an expired lease is a crashed worker whose scenario gets
+  stolen and re-executed.
+
+Because every scenario reseeds from its spec's content hash, the combined
+store of N workers (any interleaving, crashes included) is bit-identical
+to a serial run, and stores produced on different hosts can be unioned
+with :func:`~repro.distributed.merge.merge_stores` (conflicting payloads
+are a hard error, not a silent pick).
+
+Entry points: ``python -m repro.distributed`` runs one worker;
+``python -m repro.experiments work`` does the same for registered
+experiment suites, ``... merge`` unions stores, and ``... report
+--follow`` streams an incrementally re-rendered markdown report while
+workers drain.
+"""
+
+from repro.distributed.lease import DEFAULT_TTL_S, Heartbeat, LeaseManager, default_owner
+from repro.distributed.merge import MergeConflictError, MergeReport, merge_stores
+from repro.distributed.worker import (
+    DistributedExecutionError,
+    GridWorker,
+    WorkReport,
+    shard_of,
+    worker_order,
+)
+
+__all__ = [
+    "DEFAULT_TTL_S",
+    "DistributedExecutionError",
+    "GridWorker",
+    "Heartbeat",
+    "LeaseManager",
+    "MergeConflictError",
+    "MergeReport",
+    "WorkReport",
+    "default_owner",
+    "merge_stores",
+    "shard_of",
+    "worker_order",
+]

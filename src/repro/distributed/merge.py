@@ -1,0 +1,236 @@
+"""Store merge: union content-addressed results from N hosts into one store.
+
+Multi-host execution without a shared filesystem runs each host against its
+own local store directory and merges afterwards:
+
+    python -m repro.experiments merge hostA/store hostB/store --into combined
+
+The merge is safe *because* the store is content-addressed: a result file's
+name is its spec's content hash, and a scenario's result is a deterministic
+function of that same spec — so two stores can only ever disagree about a
+key if one of them is corrupt or was produced by diverging code.  That case
+is a hard error (:class:`MergeConflictError`), never a silent
+pick-one: identical payloads are deduplicated, differing payloads abort the
+merge before anything else is copied.
+
+Comparison is semantic, not byte-wise, on both entry kinds: result JSON is
+compared on its ``spec`` + ``result`` + ``format`` fields (the ``created``
+timestamp legitimately differs between hosts), and stage ``.npz`` entries
+are compared array-by-array (the zip container embeds write timestamps, the
+arrays are what must agree).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.experiments.runner.store import ResultStore
+from repro.utils.logging import get_logger
+from repro.utils.serialization import atomic_write
+
+LOGGER = get_logger("repro.distributed")
+
+
+class MergeConflictError(RuntimeError):
+    """Two stores hold *different* payloads under the same content key.
+
+    By construction (hash-keyed entries, hash-seeded deterministic
+    execution) this cannot happen between honest stores; it means one side
+    is corrupt or the stores were produced by different code versions.
+    Nothing is merged once a conflict is seen.
+    """
+
+    def __init__(self, kind: str, key: str, source: str, dest: str):
+        self.kind = kind
+        self.key = key
+        self.source = source
+        self.dest = dest
+        super().__init__(
+            f"{kind} entry {key!r} differs between {source} and {dest}; "
+            f"content-addressed stores can only conflict through corruption "
+            f"or diverging code — refusing to merge"
+        )
+
+
+@dataclass
+class MergeReport:
+    """Outcome of one :func:`merge_stores` call."""
+
+    dest: str
+    dry_run: bool = False
+    copied_results: int = 0
+    copied_stages: int = 0
+    identical_results: int = 0  # present in both sides with equal payloads
+    identical_stages: int = 0
+    skipped: int = 0  # unreadable source entries (partial writes), left alone
+    per_source: Dict[str, int] = field(default_factory=dict)  # source root -> entries copied
+
+    def summary(self) -> str:
+        verb = "would copy" if self.dry_run else "copied"
+        text = (
+            f"{verb} {self.copied_results} result(s) + {self.copied_stages} stage(s) "
+            f"into {self.dest}; {self.identical_results + self.identical_stages} "
+            f"already present and identical"
+        )
+        if self.skipped:
+            text += f"; skipped {self.skipped} unreadable source entr(y/ies)"
+        return text
+
+
+def _read_result_payload(path: str) -> Optional[Dict[str, Any]]:
+    """A result file's payload, or ``None`` when unreadable/partial."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _result_identity(payload: Dict[str, Any]) -> Tuple[Any, Any, Any]:
+    """The comparable content of a result payload (timestamps excluded)."""
+    return (payload.get("format"), payload.get("spec"), payload.get("result"))
+
+
+def _stage_arrays(path: str) -> Optional[Dict[str, np.ndarray]]:
+    try:
+        with np.load(path) as payload:
+            return {name: payload[name].copy() for name in payload.files}
+    except (OSError, ValueError):
+        return None
+
+
+def _stages_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
+    if set(a) != set(b):
+        return False
+    return all(
+        a[name].dtype == b[name].dtype
+        and a[name].shape == b[name].shape
+        and np.array_equal(a[name], b[name])
+        for name in a
+    )
+
+
+def _iter_result_files(root: str):
+    """Yield ``(experiment, filename, path)`` for every result entry."""
+    results_root = os.path.join(root, "results")
+    if not os.path.isdir(results_root):
+        return
+    for experiment in sorted(os.listdir(results_root)):
+        directory = os.path.join(results_root, experiment)
+        if not os.path.isdir(directory):
+            continue
+        for filename in sorted(os.listdir(directory)):
+            if filename.endswith(".json"):
+                yield experiment, filename, os.path.join(directory, filename)
+
+
+def _copy_atomic(source_path: str, dest_path: str) -> None:
+    atomic_write(dest_path, lambda tmp: shutil.copyfile(source_path, tmp))
+
+
+def merge_stores(
+    sources: Sequence[Union[str, ResultStore]],
+    into: Union[str, ResultStore],
+    dry_run: bool = False,
+) -> MergeReport:
+    """Union result and stage entries of ``sources`` into the ``into`` store.
+
+    Every source entry is either copied (missing at the destination),
+    counted as identical (present with an equal payload), or — when the
+    destination holds a *different* payload under the same key — aborts
+    the whole merge with :class:`MergeConflictError` before any copy
+    happens (conflicts are detected in a scan pass first, so a failed
+    merge never leaves the destination half-updated).  Unreadable source
+    entries (a reader racing a writer mid-rename on a synced directory)
+    are skipped and counted, mirroring the store's own tolerance.
+
+    Lease files are *not* merged: a lease is host-local liveness state and
+    means nothing in a combined store.
+    """
+    dest = into if isinstance(into, ResultStore) else ResultStore(into)
+    source_stores = [
+        source if isinstance(source, ResultStore) else ResultStore(source)
+        for source in sources
+    ]
+    report = MergeReport(dest=dest.root, dry_run=dry_run)
+
+    # Pass 1: scan everything and detect conflicts (against the destination
+    # AND between sources) before a single byte moves.
+    planned_results: List[Tuple[str, str, str]] = []  # (experiment, filename, source path)
+    seen_results: Dict[str, Tuple[str, Tuple[Any, Any, Any]]] = {}
+    planned_stages: List[Tuple[str, str]] = []  # (filename, source path)
+    seen_stages: Dict[str, Tuple[str, Dict[str, np.ndarray]]] = {}
+
+    for source in source_stores:
+        if os.path.abspath(source.root) == os.path.abspath(dest.root):
+            raise ValueError(f"source store {source.root} is the destination")
+        copied_from_source = 0
+        for experiment, filename, path in _iter_result_files(source.root):
+            payload = _read_result_payload(path)
+            if payload is None:
+                LOGGER.warning("merge: skipping unreadable result entry %s", path)
+                report.skipped += 1
+                continue
+            identity = _result_identity(payload)
+            key = f"{experiment}/{filename}"
+            dest_path = os.path.join(dest.root, "results", experiment, filename)
+            dest_payload = (
+                _read_result_payload(dest_path) if os.path.exists(dest_path) else None
+            )
+            if dest_payload is not None:
+                if _result_identity(dest_payload) != identity:
+                    raise MergeConflictError("result", key, path, dest_path)
+                report.identical_results += 1
+                continue
+            if key in seen_results:
+                if seen_results[key][1] != identity:
+                    raise MergeConflictError("result", key, path, seen_results[key][0])
+                report.identical_results += 1
+                continue
+            seen_results[key] = (path, identity)
+            planned_results.append((experiment, filename, path))
+            copied_from_source += 1
+
+        stages_root = os.path.join(source.root, "stages")
+        for filename in sorted(os.listdir(stages_root)) if os.path.isdir(stages_root) else []:
+            if not filename.endswith(".npz"):
+                continue
+            path = os.path.join(stages_root, filename)
+            arrays = _stage_arrays(path)
+            if arrays is None:
+                LOGGER.warning("merge: skipping unreadable stage entry %s", path)
+                report.skipped += 1
+                continue
+            dest_path = os.path.join(dest.root, "stages", filename)
+            if os.path.exists(dest_path):
+                dest_arrays = _stage_arrays(dest_path)
+                if dest_arrays is not None and not _stages_equal(arrays, dest_arrays):
+                    raise MergeConflictError("stage", filename, path, dest_path)
+                report.identical_stages += 1
+                continue
+            if filename in seen_stages:
+                if not _stages_equal(arrays, seen_stages[filename][1]):
+                    raise MergeConflictError("stage", filename, path, seen_stages[filename][0])
+                report.identical_stages += 1
+                continue
+            seen_stages[filename] = (path, arrays)
+            planned_stages.append((filename, path))
+            copied_from_source += 1
+        report.per_source[source.root] = copied_from_source
+
+    # Pass 2: copy (atomic per entry, source bytes preserved verbatim).
+    if not dry_run:
+        for experiment, filename, path in planned_results:
+            _copy_atomic(path, os.path.join(dest.root, "results", experiment, filename))
+        for filename, path in planned_stages:
+            _copy_atomic(path, os.path.join(dest.root, "stages", filename))
+    report.copied_results = len(planned_results)
+    report.copied_stages = len(planned_stages)
+    return report

@@ -6,18 +6,30 @@ Usage (module form, with ``src`` on ``PYTHONPATH``)::
     python -m repro.experiments run all --profile fast --workers 4
     python -m repro.experiments run table1 table2 --engine vectorized
     python -m repro.experiments run fig2 --no-resume
+    python -m repro.experiments work all --profile fast --store /shared/store
+    python -m repro.experiments merge hostA/store hostB/store --into combined
     python -m repro.experiments gc --dry-run
     python -m repro.experiments report --out report.md
+    python -m repro.experiments report --follow --interval 5
 
 ``run`` executes each experiment's scenario grid through the runner:
 completed scenarios resume from the content-addressed result store under
 ``<cache-dir>/runner`` (so an interrupted suite continues where it stopped)
 and ``--workers N`` shards the remaining scenarios across N worker
-processes, bit-identically to the serial run.  ``gc`` prunes store entries
-whose spec hashes no registered grid produces any more (changed grids and
-retired spec schemas hash elsewhere, so their old entries are dead weight).
-``report`` renders a markdown report purely from the store, recomputing
-nothing.
+processes, bit-identically to the serial run.  ``work`` joins (or starts)
+a *distributed* drain of the same suite as one lease-based work-stealing
+worker — run it N times, on one host or many sharing a synced store
+directory, and the workers cooperatively finish the suite (see
+:mod:`repro.distributed`; ``python -m repro.distributed`` is the
+standalone entrypoint with ``--specs`` support).  ``merge`` unions
+content-addressed stores produced on different hosts (same key with a
+differing payload is a hard error).  ``gc`` prunes store entries whose
+spec hashes no registered grid produces any more (changed grids and
+retired spec schemas hash elsewhere, so their old entries are dead
+weight); entries under a live worker lease are never pruned.  ``report``
+renders a markdown report purely from the store, recomputing nothing;
+``report --follow`` keeps re-rendering it with a done/claimed/pending
+banner while a suite runs, stopping when the suite completes.
 """
 
 from __future__ import annotations
@@ -98,6 +110,79 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write a markdown report of the run's results to PATH",
     )
 
+    work_parser = subparsers.add_parser(
+        "work",
+        help="join a distributed drain of the suite as one work-stealing worker",
+        description=(
+            "Run one lease-based worker over the shared result store: claims "
+            "scenarios via atomic lease files, heartbeats while executing, "
+            "steals expired claims of crashed workers, and exits when the "
+            "whole suite is in the store.  Start any number of these against "
+            "one store directory; results are bit-identical to a serial run."
+        ),
+    )
+    work_parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="ID",
+        help="registry identifiers (see `list`), or `all`",
+    )
+    work_parser.add_argument("--profile", "-p", default=None, help="experiment profile (default: fast)")
+    work_parser.add_argument(
+        "--engine",
+        "-e",
+        default=None,
+        help="simulation engine pin for every scenario (reference | vectorized)",
+    )
+    work_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="shared store directory (default: <cache-dir>/runner)",
+    )
+    work_parser.add_argument("--owner", default=None, help="worker identity recorded in lease files")
+    work_parser.add_argument(
+        "--ttl", type=float, default=None, metavar="S",
+        help="lease time-to-live before a silent worker's claims become stealable (default: 60)",
+    )
+    work_parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="S",
+        help="sleep between passes while other workers hold the remaining leases",
+    )
+    work_parser.add_argument(
+        "--shard-index", type=int, default=None,
+        help="this worker's shard (0-based); its affine scenarios are visited first",
+    )
+    work_parser.add_argument(
+        "--num-shards", type=int, default=None,
+        help="total shard count for deterministic affinity (give with --shard-index)",
+    )
+    work_parser.add_argument(
+        "--max-scenarios", type=int, default=None, metavar="K",
+        help="stop after executing K scenarios (budgeting; default: drain fully)",
+    )
+
+    merge_parser = subparsers.add_parser(
+        "merge",
+        help="union content-addressed result stores from several hosts into one",
+        description=(
+            "Copy result and stage entries missing from the destination store; "
+            "entries present on both sides must be identical (same key with a "
+            "differing payload aborts the merge — content-addressed stores can "
+            "only conflict through corruption or diverging code)."
+        ),
+    )
+    merge_parser.add_argument(
+        "sources", nargs="+", metavar="SRC", help="source store directories"
+    )
+    merge_parser.add_argument(
+        "--into", required=True, metavar="DST", help="destination store directory"
+    )
+    merge_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="scan and report (including conflict detection) without copying",
+    )
+
     gc_parser = subparsers.add_parser(
         "gc",
         help="prune result-store entries whose spec hashes no registered grid produces",
@@ -134,6 +219,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render results of a suite that ran under this engine pin",
     )
     report_parser.add_argument("--out", "-o", default=None, metavar="PATH", help="write to PATH instead of stdout")
+    report_parser.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help=(
+            "re-render the report while a suite runs: print a done/claimed/"
+            "pending banner each poll, emit the report whenever it changes "
+            "(or atomically rewrite --out PATH), stop when the suite completes"
+        ),
+    )
+    report_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="poll interval for --follow (default: 2s)",
+    )
     return parser
 
 
@@ -199,6 +301,41 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_work(args: argparse.Namespace) -> int:
+    import repro.distributed.__main__ as worker_cli
+
+    argv = list(args.experiments)
+    argv = ["--experiments", *argv]
+    for flag, value in (
+        ("--profile", args.profile),
+        ("--engine", args.engine),
+        ("--store", args.store),
+        ("--owner", args.owner),
+        ("--ttl", args.ttl),
+        ("--poll", args.poll),
+        ("--shard-index", args.shard_index),
+        ("--num-shards", args.num_shards),
+        ("--max-scenarios", args.max_scenarios),
+    ):
+        if value is not None:
+            argv.extend([flag, str(value)])
+    return worker_cli.main(argv)
+
+
+def _command_merge(args: argparse.Namespace) -> int:
+    from repro.distributed.merge import MergeConflictError, merge_stores
+
+    try:
+        report = merge_stores(args.sources, into=args.into, dry_run=args.dry_run)
+    except MergeConflictError as error:
+        print(f"merge aborted: {error}", file=sys.stderr)
+        return 1
+    for source, copied in report.per_source.items():
+        print(f"{'would copy' if args.dry_run else 'copied'} {copied} entr(y/ies) from {source}")
+    print(report.summary())
+    return 0
+
+
 def _command_gc(args: argparse.Namespace) -> int:
     from repro.experiments.profiles import get_profile
     from repro.experiments.registry import registered_spec_hashes
@@ -218,14 +355,46 @@ def _command_gc(args: argparse.Namespace) -> int:
 
 def _command_report(args: argparse.Namespace) -> int:
     from repro.experiments.profiles import get_profile
-    from repro.experiments.report import build_report_from_store
+    from repro.experiments.report import build_report_from_store, follow_report
     from repro.experiments.runner.store import default_store
+    from repro.utils.serialization import atomic_write
 
     profile = get_profile(args.profile)
+    store = default_store()
+    title = f"Reproduction report — profile {profile.name}"
+
+    if args.follow:
+        # Stream: banner every poll; the full report only when it changed
+        # (to stdout) or as an atomic rewrite of --out (safe to read/serve
+        # while workers are still draining the suite).
+        last_text: Optional[str] = None
+        try:
+            for text, status in follow_report(
+                store, profile=profile, engine=args.engine, title=title,
+                interval=args.interval,
+            ):
+                print(status.banner(), flush=True)
+                if text != last_text:
+                    if args.out:
+                        def write(tmp: str, _text: str = text) -> None:
+                            with open(tmp, "w", encoding="utf-8") as handle:
+                                handle.write(_text)
+
+                        atomic_write(args.out, write)
+                        print(f"report updated: {args.out}", flush=True)
+                    else:
+                        print(text, flush=True)
+                    last_text = text
+        except KeyboardInterrupt:
+            print("follow interrupted", file=sys.stderr)
+            return 130
+        print("suite complete", flush=True)
+        return 0
+
     text = build_report_from_store(
-        default_store(),
+        store,
         profile=profile,
-        title=f"Reproduction report — profile {profile.name}",
+        title=title,
         engine=args.engine,
     )
     if args.out:
@@ -247,6 +416,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "work":
+        return _command_work(args)
+    if args.command == "merge":
+        return _command_merge(args)
     if args.command == "gc":
         return _command_gc(args)
     if args.command == "report":

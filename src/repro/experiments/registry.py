@@ -226,6 +226,38 @@ def pin_grid_engine(grid, engine: Optional[str]):
     return ScenarioGrid(name=grid.name, specs=tuple(pin(s) for s in grid))
 
 
+def suite_grid(
+    identifiers: Optional[Sequence[str]] = None,
+    profile: Optional[ExperimentProfile] = None,
+    engine: Optional[str] = None,
+    name: str = "suite",
+):
+    """One concatenated, engine-pinned grid over registered experiments.
+
+    ``identifiers=None`` (or any list containing ``"all"``) selects every
+    registered experiment.  This is the canonical "whole suite as one
+    grid" constructor shared by the distributed worker entrypoints — any
+    two workers given the same arguments build byte-identical spec sets,
+    which is what lets them cooperate through nothing but the store.
+    """
+    from repro.experiments.runner.spec import ScenarioGrid
+
+    if identifiers is None or "all" in identifiers:
+        identifiers = list(EXPERIMENTS)
+    unknown = [identifier for identifier in identifiers if identifier not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s): {', '.join(unknown)}; available: {', '.join(EXPERIMENTS)}"
+        )
+    return ScenarioGrid.concat(
+        name,
+        [
+            pin_grid_engine(EXPERIMENTS[identifier].grid(profile), engine)
+            for identifier in identifiers
+        ],
+    )
+
+
 def format_result(spec: ExperimentSpec, result: Any) -> str:
     """Render an assembled experiment result for terminals."""
     if spec.formatter is not None:

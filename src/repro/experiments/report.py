@@ -14,7 +14,9 @@ after an (even interrupted, then resumed) ``run all`` is instant.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.experiments.fig1b import Fig1bResult
 from repro.experiments.fig2 import Fig2Result
@@ -255,6 +257,112 @@ def build_report_from_store(
             + "\n"
         )
     return text
+
+
+@dataclass
+class SuiteStatus:
+    """Completion snapshot of the registered suite against one store.
+
+    ``done`` counts scenarios with a store result, ``claimed`` counts
+    not-done scenarios under a live lease (a distributed worker is
+    executing them right now), and ``pending`` is everything else.
+    """
+
+    total: int = 0
+    done: int = 0
+    claimed: int = 0
+    per_experiment: Dict[str, Tuple[int, int]] = field(default_factory=dict)  # id -> (done, total)
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.done - self.claimed
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.total
+
+    def banner(self) -> str:
+        """One-line progress banner for streaming output."""
+        detail = ", ".join(
+            f"{identifier} {done}/{total}"
+            for identifier, (done, total) in self.per_experiment.items()
+        )
+        return (
+            f"> suite progress: {self.done}/{self.total} done · "
+            f"{self.claimed} claimed · {self.pending} pending  [{detail}]"
+        )
+
+
+def suite_status(
+    store,
+    profile=None,
+    experiments: Optional[Sequence[str]] = None,
+    engine: Optional[str] = None,
+) -> SuiteStatus:
+    """Count done / claimed / pending scenarios of the registered suite.
+
+    Uses the same grid construction as :func:`build_report_from_store`, so
+    the banner and the report always describe the same scenario set.
+    Claims come from live lease files under the store root (see
+    :mod:`repro.distributed.lease`); a store without leases simply reports
+    zero claimed.
+    """
+    from repro.distributed.lease import LeaseManager
+    from repro.experiments.profiles import ExperimentProfile, get_profile
+    from repro.experiments.registry import EXPERIMENTS, pin_grid_engine
+
+    if not isinstance(profile, ExperimentProfile):
+        profile = get_profile(profile)
+    identifiers = list(experiments) if experiments else list(EXPERIMENTS)
+    live_leases = set(LeaseManager(store.root).live_hashes()) if hasattr(store, "root") else set()
+    status = SuiteStatus()
+    for identifier in identifiers:
+        grid = pin_grid_engine(EXPERIMENTS[identifier].grid(profile), engine)
+        done = 0
+        for scenario in grid:
+            if store.get(scenario) is not None:
+                done += 1
+            elif scenario.hash in live_leases:
+                status.claimed += 1
+        status.per_experiment[identifier] = (done, len(grid))
+        status.done += done
+        status.total += len(grid)
+    return status
+
+
+def follow_report(
+    store,
+    profile=None,
+    experiments: Optional[Sequence[str]] = None,
+    engine: Optional[str] = None,
+    title: str = "Reproduction report",
+    interval: float = 2.0,
+    max_polls: Optional[int] = None,
+    sleep=time.sleep,
+) -> Iterator[Tuple[str, SuiteStatus]]:
+    """Yield ``(markdown, status)`` snapshots until the suite completes.
+
+    The streaming face of :func:`build_report_from_store`: each snapshot is
+    the full report re-rendered from whatever the store holds *right now*
+    (completed experiments as tables, the rest as pending) with the
+    :meth:`SuiteStatus.banner` completion banner appended — so tailing the
+    output of ``python -m repro.experiments report --follow`` while N
+    distributed workers drain the suite shows tables appearing as their
+    grids finish.  Terminates after the first complete snapshot; a reader
+    may of course stop earlier.  ``max_polls`` bounds the number of
+    snapshots (for callers that poll a suite nothing is executing).
+    """
+    polls = 0
+    while True:
+        status = suite_status(store, profile=profile, experiments=experiments, engine=engine)
+        text = build_report_from_store(
+            store, profile=profile, experiments=experiments, title=title, engine=engine
+        )
+        yield text + "\n" + status.banner() + "\n", status
+        polls += 1
+        if status.complete or (max_polls is not None and polls >= max_polls):
+            return
+        sleep(interval)
 
 
 def write_report(path: str, **results) -> str:

@@ -16,6 +16,11 @@ scenarios.  This subsystem turns that grid into data:
 * :func:`~repro.experiments.runner.executor.run_grid` executes a grid either
   serially in-process (the bit-exact oracle) or sharded across a
   ``multiprocessing`` worker pool; both paths produce identical results.
+  A third backend lives in :mod:`repro.distributed`: independent
+  lease-based worker *processes* (any count, any host sharing the store
+  directory) cooperatively drain a grid, again bit-identically — all
+  three schedulers call the same
+  :func:`~repro.experiments.runner.executor.execute_pending` core.
 
 The five experiment drivers (``fig1b``, ``fig2``, ``table1``, ``table2``,
 ``ablations``) are expressed as grids on this runner; see
@@ -23,13 +28,19 @@ The five experiment drivers (``fig1b``, ``fig2``, ``table1``, ``table2``,
 ``python -m repro.experiments`` for the CLI.
 """
 
-from repro.experiments.runner.executor import GridExecutionError, GridRunResult, run_grid
+from repro.experiments.runner.executor import (
+    GridExecutionError,
+    GridRunResult,
+    execute_pending,
+    run_grid,
+)
 from repro.experiments.runner.scenarios import ScenarioContext, execute_scenario, needs_bundle
 from repro.experiments.runner.spec import ScenarioGrid, ScenarioSpec
 from repro.experiments.runner.store import MemoryStore, ResultStore, default_store
 
 __all__ = [
     "GridExecutionError",
+    "execute_pending",
     "ScenarioSpec",
     "ScenarioGrid",
     "ResultStore",

@@ -108,6 +108,34 @@ def _bundle_for(spec: ScenarioSpec, bundles: Dict[str, Any], explicit_bundle=Non
     return bundles[token]
 
 
+def execute_pending(
+    spec: ScenarioSpec,
+    stage_store,
+    bundles: Optional[Dict[str, Any]] = None,
+    explicit_bundle=None,
+) -> Tuple[Dict[str, Any], float, Any]:
+    """The one scenario-execution core every execution path calls.
+
+    Resolves the spec's pre-trained bundle (memoised in ``bundles`` per
+    profile token, so a caller draining many scenarios builds each bundle
+    once), executes the scenario through
+    :func:`~repro.experiments.runner.scenarios.execute_scenario` (which owns
+    the determinism contract: per-spec derived seed, snapshot restore,
+    fresh loaders) and returns ``(result, elapsed_s, bundle)``.
+
+    Callers: the serial loop of :func:`run_grid`, the spawn-pool's
+    :func:`_worker_run`, and :class:`repro.distributed.worker.GridWorker` —
+    three schedulers, one execution semantics, which is what keeps
+    serial == parallel == distributed bit-identical.  The returned bundle
+    (``None`` for bundle-free experiments) lets schedulers restore shared
+    model state when their drain finishes.
+    """
+    bundle = _bundle_for(spec, bundles if bundles is not None else {}, explicit_bundle)
+    start = time.perf_counter()
+    result = execute_scenario(spec, bundle=bundle, stage_store=stage_store)
+    return result, time.perf_counter() - start, bundle
+
+
 # ---------------------------------------------------------------------------
 # Worker-pool plumbing (module level so the spawn pickler can find it)
 # ---------------------------------------------------------------------------
@@ -141,13 +169,8 @@ def _worker_run(payload: Dict[str, Any]) -> Tuple[str, Dict[str, Any], float]:
     stage_store = current_context().stage_store
     if stage_store is None:
         stage_store = MemoryStore()
-    bundle = None
-    if needs_bundle(spec.experiment):
-        profile = get_profile(spec.profile).with_overrides(**spec.override_dict())
-        bundle = get_pretrained_bundle(profile)
-    start = time.perf_counter()
-    result = execute_scenario(spec, bundle=bundle, stage_store=stage_store)
-    return spec.hash, result, time.perf_counter() - start
+    result, elapsed, _ = execute_pending(spec, stage_store)
+    return spec.hash, result, elapsed
 
 
 def _worker_run_batch(
@@ -379,13 +402,13 @@ def run_grid(
             if spec.hash in done_hashes:
                 continue
             members = groups.get(spec.hash)
-            spec_bundle = _bundle_for(spec, bundles, explicit_bundle=bundle)
-            if spec_bundle is not None:
-                touched[id(spec_bundle)] = spec_bundle
-            scenario_start = time.perf_counter()
             if members is not None:
                 from repro.api import execute_api_eval_batch
 
+                spec_bundle = _bundle_for(spec, bundles, explicit_bundle=bundle)
+                if spec_bundle is not None:
+                    touched[id(spec_bundle)] = spec_bundle
+                scenario_start = time.perf_counter()
                 results = execute_api_eval_batch(
                     members, bundle=spec_bundle, stage_store=stage_store
                 )
@@ -400,8 +423,11 @@ def run_grid(
                     len(grid),
                 )
                 continue
-            result = execute_scenario(spec, bundle=spec_bundle, stage_store=stage_store)
-            elapsed = time.perf_counter() - scenario_start
+            result, elapsed, spec_bundle = execute_pending(
+                spec, stage_store, bundles=bundles, explicit_bundle=bundle
+            )
+            if spec_bundle is not None:
+                touched[id(spec_bundle)] = spec_bundle
             _record(spec, result, elapsed)
             LOGGER.info(
                 "scenario %s done in %.2fs (%d/%d)",

@@ -32,7 +32,10 @@ from typing import Any, Callable, Dict, Mapping, Optional
 import numpy as np
 
 from repro.experiments.runner.spec import ScenarioSpec, stable_hash
+from repro.utils.logging import get_logger
 from repro.utils.serialization import atomic_write
+
+LOGGER = get_logger("repro.runner.store")
 
 STORE_FORMAT = 1
 
@@ -101,14 +104,36 @@ class ResultStore:
         return os.path.exists(self.result_path(spec))
 
     def get(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
-        """The stored result for ``spec``, or ``None`` on a miss."""
+        """The stored result for ``spec``, or ``None`` on a miss.
+
+        A readable-but-broken entry — a reader racing a writer's
+        mid-``atomic_write`` rename on a network filesystem, a truncated
+        sync, a foreign file under the store root — is *skipped with a
+        warning*, never raised: to every consumer (resume, report
+        generation, a distributed worker's done-check) a partial entry is
+        simply not done yet, and the next writer's atomic replace heals it.
+        """
         path = self.result_path(spec)
         if not os.path.exists(path):
             return None
         try:
             with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None
+        except json.JSONDecodeError:
+            LOGGER.warning(
+                "skipping partially-written/corrupt store entry %s "
+                "(treated as a miss; it will be recomputed)",
+                path,
+            )
+            return None
+        if not isinstance(payload, dict):
+            LOGGER.warning(
+                "skipping malformed store entry %s (payload is %s, not an object)",
+                path,
+                type(payload).__name__,
+            )
             return None
         if payload.get("format") != STORE_FORMAT:
             return None
@@ -178,7 +203,9 @@ class ResultStore:
             for path in sorted(glob.glob(pattern))
         }
 
-    def gc(self, valid_hashes, dry_run: bool = False) -> "GCReport":
+    def gc(
+        self, valid_hashes, dry_run: bool = False, respect_leases: bool = True
+    ) -> "GCReport":
         """Prune result entries whose hash no registered grid produces.
 
         ``valid_hashes`` is the live set (see
@@ -186,9 +213,24 @@ class ResultStore:
         entries are left untouched: their keys are derived at execution time
         and an orphaned stage is recomputed-on-miss anyway.  With
         ``dry_run=True`` nothing is deleted; the report lists what would be.
+
+        With ``respect_leases=True`` (default), hashes under a *live*
+        lease file (``leases/`` next to the results — see
+        :mod:`repro.distributed.lease`) also count as live: a distributed
+        worker's in-flight or just-finished scenario must never be pruned
+        by a concurrent ``gc``, even when its suite is an ad-hoc spec list
+        no registered grid knows.  This is the same protection the serve
+        layer gives its live requests, extended to cross-process workers;
+        expired leases (crashed workers) grant no protection.
         """
         valid = set(valid_hashes)
         report = GCReport(dry_run=dry_run)
+        if respect_leases:
+            from repro.distributed.lease import LeaseManager
+
+            leased = set(LeaseManager(self.root).live_hashes())
+            report.leased = len(leased)
+            valid |= leased
         for spec_hash, path in self.result_files().items():
             if spec_hash in valid:
                 report.kept += 1
@@ -221,10 +263,14 @@ class GCReport:
         self.dry_run = dry_run
         self.kept = 0
         self.pruned: list = []
+        self.leased = 0  # live lease files extending the valid set
 
     def summary(self) -> str:
         verb = "would prune" if self.dry_run else "pruned"
-        return f"{verb} {len(self.pruned)} stale result(s), kept {self.kept}"
+        text = f"{verb} {len(self.pruned)} stale result(s), kept {self.kept}"
+        if self.leased:
+            text += f" ({self.leased} protected by live lease(s))"
+        return text
 
 
 class MemoryStore:

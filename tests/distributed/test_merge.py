@@ -1,0 +1,219 @@
+"""Tests for the store merge: union, dedup, conflict detection, reports.
+
+The acceptance contract: merging two disjoint half-suite stores reproduces
+the full-suite report *byte for byte*, and a same-key/different-payload
+pair is a hard error that leaves the destination untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributed.merge import MergeConflictError, merge_stores
+from repro.experiments.report import build_report_from_store
+from repro.experiments.runner import ResultStore, ScenarioGrid, ScenarioSpec, run_grid
+from repro.utils.serialization import atomic_write
+
+
+def _selftest_grid(count: int = 6) -> ScenarioGrid:
+    return ScenarioGrid(
+        name="merge-suite",
+        specs=tuple(ScenarioSpec.create("selftest", method=f"m{i}", value=i) for i in range(count)),
+    )
+
+
+@pytest.fixture
+def grid():
+    return _selftest_grid()
+
+
+class TestUnion:
+    def test_disjoint_halves_union_to_the_full_store(self, tmp_path, grid):
+        specs = list(grid)
+        half_a = ResultStore(str(tmp_path / "host_a"))
+        half_b = ResultStore(str(tmp_path / "host_b"))
+        run_grid(ScenarioGrid(name="a", specs=tuple(specs[:3])), store=half_a)
+        run_grid(ScenarioGrid(name="b", specs=tuple(specs[3:])), store=half_b)
+
+        merged = ResultStore(str(tmp_path / "merged"))
+        report = merge_stores([half_a, half_b], into=merged)
+        assert report.copied_results == len(specs)
+        assert report.identical_results == 0
+
+        serial = ResultStore(str(tmp_path / "serial"))
+        outcome = run_grid(grid, store=serial)
+        for spec in grid:
+            assert merged.get(spec) == outcome.results[spec.hash]
+
+    def test_overlapping_identical_entries_deduplicate(self, tmp_path, grid):
+        store_a = ResultStore(str(tmp_path / "a"))
+        store_b = ResultStore(str(tmp_path / "b"))
+        run_grid(grid, store=store_a)
+        run_grid(grid, store=store_b)  # identical content, later timestamps
+
+        merged = ResultStore(str(tmp_path / "merged"))
+        first = merge_stores([store_a], into=merged)
+        assert first.copied_results == len(grid)
+        second = merge_stores([store_b], into=merged)
+        assert second.copied_results == 0
+        assert second.identical_results == len(grid)
+
+    def test_merge_accepts_paths_and_reports_per_source(self, tmp_path, grid):
+        specs = list(grid)
+        half_a = ResultStore(str(tmp_path / "a"))
+        half_b = ResultStore(str(tmp_path / "b"))
+        run_grid(ScenarioGrid(name="a", specs=tuple(specs[:2])), store=half_a)
+        run_grid(ScenarioGrid(name="b", specs=tuple(specs[2:])), store=half_b)
+        report = merge_stores(
+            [str(tmp_path / "a"), str(tmp_path / "b")], into=str(tmp_path / "merged")
+        )
+        assert report.per_source[half_a.root] == 2
+        assert report.per_source[half_b.root] == 4
+
+    def test_dry_run_copies_nothing(self, tmp_path, grid):
+        source = ResultStore(str(tmp_path / "src"))
+        run_grid(grid, store=source)
+        dest = ResultStore(str(tmp_path / "dst"))
+        report = merge_stores([source], into=dest, dry_run=True)
+        assert report.copied_results == len(grid)
+        assert not os.path.isdir(os.path.join(dest.root, "results"))
+
+    def test_source_equal_to_destination_is_rejected(self, tmp_path, grid):
+        store = ResultStore(str(tmp_path / "store"))
+        run_grid(grid, store=store)
+        with pytest.raises(ValueError):
+            merge_stores([store], into=store.root)
+
+    def test_stage_entries_merge_and_deduplicate(self, tmp_path):
+        key = {"stage": "nia", "sigma": 4.0}
+        state = {"w": np.arange(6, dtype=np.float64).reshape(2, 3)}
+        source = ResultStore(str(tmp_path / "src"))
+        dest = ResultStore(str(tmp_path / "dst"))
+        source.stage_state(key, lambda: state)
+        report = merge_stores([source], into=dest)
+        assert report.copied_stages == 1
+        loaded = dest.stage_state(key, lambda: pytest.fail("must load, not recompute"))
+        np.testing.assert_array_equal(loaded["w"], state["w"])
+        # A second merge of an equal-content stage (re-written, so the npz
+        # bytes differ by zip timestamps) deduplicates instead of erroring.
+        again = ResultStore(str(tmp_path / "src2"))
+        again.stage_state(key, lambda: state)
+        report2 = merge_stores([again], into=dest)
+        assert report2.copied_stages == 0
+        assert report2.identical_stages == 1
+
+
+class TestConflicts:
+    def test_differing_result_payload_is_a_hard_error(self, tmp_path, grid):
+        spec = next(iter(grid))
+        source = ResultStore(str(tmp_path / "src"))
+        dest = ResultStore(str(tmp_path / "dst"))
+        source.put(spec, {"value": 1})
+        dest.put(spec, {"value": 2})
+        with pytest.raises(MergeConflictError) as excinfo:
+            merge_stores([source], into=dest)
+        assert "refusing to merge" in str(excinfo.value)
+        assert dest.get(spec) == {"value": 2}  # destination untouched
+
+    def test_conflict_aborts_before_any_copy(self, tmp_path, grid):
+        # Scan-then-copy: a conflict on one entry must not leave the
+        # destination with the other entries half-merged.
+        specs = list(grid)
+        source = ResultStore(str(tmp_path / "src"))
+        dest = ResultStore(str(tmp_path / "dst"))
+        for spec in specs[:3]:
+            source.put(spec, {"value": spec.hash})
+        dest.put(specs[0], {"value": "conflicting"})
+        with pytest.raises(MergeConflictError):
+            merge_stores([source], into=dest)
+        assert dest.get(specs[1]) is None
+        assert dest.get(specs[2]) is None
+
+    def test_conflict_between_two_sources_is_detected(self, tmp_path, grid):
+        spec = next(iter(grid))
+        source_a = ResultStore(str(tmp_path / "a"))
+        source_b = ResultStore(str(tmp_path / "b"))
+        source_a.put(spec, {"value": 1})
+        source_b.put(spec, {"value": 2})
+        with pytest.raises(MergeConflictError):
+            merge_stores([source_a, source_b], into=str(tmp_path / "dst"))
+
+    def test_differing_stage_arrays_are_a_hard_error(self, tmp_path):
+        key = {"stage": "nia"}
+        source = ResultStore(str(tmp_path / "src"))
+        dest = ResultStore(str(tmp_path / "dst"))
+        source.stage_state(key, lambda: {"w": np.ones(3)})
+        dest.stage_state(key, lambda: {"w": np.zeros(3)})
+        with pytest.raises(MergeConflictError):
+            merge_stores([source], into=dest)
+
+    def test_timestamps_do_not_conflict(self, tmp_path, grid):
+        # Same spec + result recorded at different times must merge as
+        # identical — `created` is not part of a result's identity.
+        spec = next(iter(grid))
+        source = ResultStore(str(tmp_path / "src"))
+        dest = ResultStore(str(tmp_path / "dst"))
+        source.put(spec, {"value": 7})
+        dest.put(spec, {"value": 7})
+
+        def bump_created(path):
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            payload["created"] += 1234.5
+
+            def write(tmp):
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+
+            atomic_write(path, write)
+
+        bump_created(dest.result_path(spec))
+        report = merge_stores([source], into=dest)
+        assert report.identical_results == 1
+
+    def test_unreadable_source_entry_is_skipped_not_fatal(self, tmp_path, grid):
+        specs = list(grid)
+        source = ResultStore(str(tmp_path / "src"))
+        source.put(specs[0], {"value": 0})
+        # A partial write racing the merge: truncated JSON in the store.
+        broken = source.result_path(specs[1])
+        os.makedirs(os.path.dirname(broken), exist_ok=True)
+        with open(broken, "w", encoding="utf-8") as handle:
+            handle.write('{"format": 1, "resu')
+        report = merge_stores([source], into=str(tmp_path / "dst"))
+        assert report.copied_results == 1
+        assert report.skipped == 1
+
+
+class TestReportByteIdentity:
+    def test_merged_halves_reproduce_full_report_byte_for_byte(self, tmp_path):
+        """Acceptance: report(merge(half A, half B)) == report(full), bytes."""
+        from repro.experiments.registry import EXPERIMENTS
+
+        identifiers = ["fig1b", "ablation_pla_error"]  # bundle-free, fast
+        grids = {
+            identifier: EXPERIMENTS[identifier].grid(None) for identifier in identifiers
+        }
+        full_store = ResultStore(str(tmp_path / "full"))
+        for grid in grids.values():
+            run_grid(grid, store=full_store)
+
+        # Two "hosts", each executing a disjoint half of every grid.
+        host_a = ResultStore(str(tmp_path / "host_a"))
+        host_b = ResultStore(str(tmp_path / "host_b"))
+        for grid in grids.values():
+            specs = list(grid)
+            run_grid(ScenarioGrid(name=grid.name + "-a", specs=tuple(specs[::2])), store=host_a)
+            run_grid(ScenarioGrid(name=grid.name + "-b", specs=tuple(specs[1::2])), store=host_b)
+
+        merged = ResultStore(str(tmp_path / "merged"))
+        merge_stores([host_a, host_b], into=merged)
+
+        full_text = build_report_from_store(full_store, experiments=identifiers)
+        merged_text = build_report_from_store(merged, experiments=identifiers)
+        assert merged_text.encode("utf-8") == full_text.encode("utf-8")
+        assert "Pending" not in merged_text

@@ -1,0 +1,216 @@
+"""Store resilience under distributed access, and the streaming report.
+
+Covers the satellites that ride with the distributed executor: the store
+tolerating partially-written entries (a reader racing a writer's
+mid-``atomic_write`` rename on a network filesystem), ``gc`` respecting
+live lease files, and the ``report --follow`` machinery
+(:func:`suite_status` / :func:`follow_report`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import logging
+import os
+import time
+
+import pytest
+
+from repro.distributed.lease import LeaseManager
+from repro.experiments.report import follow_report, suite_status
+from repro.experiments.runner import ResultStore, ScenarioGrid, ScenarioSpec, run_grid
+
+
+def _selftest_grid(count: int = 4) -> ScenarioGrid:
+    return ScenarioGrid(
+        name="resilience-suite",
+        specs=tuple(ScenarioSpec.create("selftest", method=f"m{i}", value=i) for i in range(count)),
+    )
+
+
+@contextlib.contextmanager
+def _store_warnings():
+    """Capture ``repro.runner.store`` log output (its logger does not
+    propagate to root, so ``caplog`` cannot see it)."""
+    stream = io.StringIO()
+    handler = logging.StreamHandler(stream)
+    logger = logging.getLogger("repro.runner.store")
+    logger.addHandler(handler)
+    try:
+        yield stream
+    finally:
+        logger.removeHandler(handler)
+
+
+class TestPartialEntries:
+    def test_truncated_entry_reads_as_miss_with_warning(self, tmp_path):
+        spec = ScenarioSpec.create("selftest", method="m", value=1)
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.result_path(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"format": 1, "result": {"va')  # cut mid-write
+        with _store_warnings() as stream:
+            assert store.get(spec) is None
+        assert "partially-written" in stream.getvalue()
+
+    def test_non_object_entry_reads_as_miss_with_warning(self, tmp_path):
+        spec = ScenarioSpec.create("selftest", method="m", value=1)
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.result_path(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('["not", "a", "result"]')
+        with _store_warnings() as stream:
+            assert store.get(spec) is None
+        assert "malformed" in stream.getvalue()
+
+    def test_partial_entry_heals_on_next_put(self, tmp_path):
+        spec = ScenarioSpec.create("selftest", method="m", value=1)
+        store = ResultStore(str(tmp_path / "store"))
+        path = store.result_path(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{")
+        store.put(spec, {"value": 1})
+        assert store.get(spec) == {"value": 1}
+
+    def test_report_generation_survives_a_corrupt_entry(self, tmp_path):
+        # A report built while a writer is mid-flight must render the
+        # racing scenario as pending, not crash.
+        from repro.experiments.report import build_report_from_store
+        from repro.experiments.registry import EXPERIMENTS
+
+        store = ResultStore(str(tmp_path / "store"))
+        grid = EXPERIMENTS["fig1b"].grid(None)
+        run_grid(grid, store=store)
+        victim = next(iter(grid))
+        with open(store.result_path(victim), "w", encoding="utf-8") as handle:
+            handle.write('{"format": 1, "re')
+        text = build_report_from_store(store, experiments=["fig1b"])
+        assert "fig1b" in text  # rendered, with the broken scenario pending
+
+
+class TestGCRespectsLeases:
+    def test_live_lease_protects_an_unregistered_result(self, tmp_path):
+        spec = ScenarioSpec.create("selftest", method="adhoc", value=7)
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(spec, {"value": 7})
+        leases = LeaseManager(store.root, owner="worker", ttl=60.0)
+        assert leases.acquire(spec.hash)
+
+        report = store.gc(valid_hashes=set())  # nothing registered
+        assert report.kept == 1
+        assert report.leased == 1
+        assert not report.pruned
+        assert store.get(spec) == {"value": 7}
+        assert "protected by live lease" in report.summary()
+
+    def test_expired_lease_grants_no_protection(self, tmp_path):
+        spec = ScenarioSpec.create("selftest", method="adhoc", value=7)
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(spec, {"value": 7})
+        leases = LeaseManager(store.root, owner="dead", ttl=60.0)
+        assert leases.acquire(spec.hash)
+        stale = time.time() - 3600
+        os.utime(leases.lease_path(spec.hash), (stale, stale))
+
+        report = store.gc(valid_hashes=set())
+        assert [os.path.basename(path) for path in report.pruned] == [f"{spec.hash}.json"]
+        assert store.get(spec) is None
+
+    def test_respect_leases_false_restores_old_behaviour(self, tmp_path):
+        spec = ScenarioSpec.create("selftest", method="adhoc", value=7)
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(spec, {"value": 7})
+        LeaseManager(store.root, owner="worker", ttl=60.0).acquire(spec.hash)
+        report = store.gc(valid_hashes=set(), respect_leases=False)
+        assert len(report.pruned) == 1
+
+
+class TestSuiteStatus:
+    def test_counts_done_claimed_and_pending(self, tmp_path):
+        from repro.experiments.registry import EXPERIMENTS
+
+        store = ResultStore(str(tmp_path / "store"))
+        grid = EXPERIMENTS["fig1b"].grid(None)
+        specs = list(grid)
+        run_grid(ScenarioGrid(name="half", specs=tuple(specs[:1])), store=store)
+        LeaseManager(store.root, owner="worker", ttl=60.0).acquire(specs[1].hash)
+
+        status = suite_status(store, experiments=["fig1b"])
+        assert status.total == len(specs)
+        assert status.done == 1
+        assert status.claimed == 1
+        assert status.pending == len(specs) - 2
+        assert not status.complete
+        assert status.per_experiment["fig1b"] == (1, len(specs))
+
+    def test_banner_mentions_every_experiment(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        status = suite_status(store, experiments=["fig1b", "ablation_pla_error"])
+        banner = status.banner()
+        assert banner.startswith("> suite progress: 0/")
+        assert "fig1b 0/" in banner and "ablation_pla_error 0/" in banner
+
+    def test_complete_suite_reports_complete(self, tmp_path):
+        from repro.experiments.registry import EXPERIMENTS
+
+        store = ResultStore(str(tmp_path / "store"))
+        run_grid(EXPERIMENTS["fig1b"].grid(None), store=store)
+        status = suite_status(store, experiments=["fig1b"])
+        assert status.complete
+        assert status.claimed == 0 and status.pending == 0
+
+
+class TestFollowReport:
+    def test_streams_until_complete(self, tmp_path):
+        """Snapshots keep coming while workers fill the store, then stop."""
+        from repro.experiments.registry import EXPERIMENTS
+
+        store = ResultStore(str(tmp_path / "store"))
+        grid = EXPERIMENTS["fig1b"].grid(None)
+        specs = list(grid)
+        done = ResultStore(str(tmp_path / "oracle"))
+        oracle = run_grid(grid, store=done)
+
+        progress = iter(specs)
+
+        def advance(_interval):
+            # Stand-in for a worker delivering one result per poll.
+            spec = next(progress)
+            store.put(spec, oracle.results[spec.hash])
+
+        snapshots = list(
+            follow_report(store, experiments=["fig1b"], interval=0.0, sleep=advance)
+        )
+        assert len(snapshots) == len(specs) + 1  # empty start -> complete
+        final_text, final_status = snapshots[-1]
+        assert final_status.complete
+        assert f"{len(specs)}/{len(specs)} done" in final_text
+        first_text, first_status = snapshots[0]
+        assert first_status.done == 0
+        assert "Pending" in first_text
+
+    def test_max_polls_bounds_an_idle_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        snapshots = list(
+            follow_report(
+                store, experiments=["fig1b"], interval=0.0, max_polls=3, sleep=lambda _: None
+            )
+        )
+        assert len(snapshots) == 3
+        assert all(not status.complete for _, status in snapshots)
+
+    def test_final_snapshot_equals_plain_report_plus_banner(self, tmp_path):
+        from repro.experiments.registry import EXPERIMENTS
+        from repro.experiments.report import build_report_from_store
+
+        store = ResultStore(str(tmp_path / "store"))
+        run_grid(EXPERIMENTS["fig1b"].grid(None), store=store)
+        (text, status), = list(
+            follow_report(store, experiments=["fig1b"], interval=0.0, sleep=lambda _: None)
+        )
+        plain = build_report_from_store(store, experiments=["fig1b"])
+        assert text == plain + "\n" + status.banner() + "\n"

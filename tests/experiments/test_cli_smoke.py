@@ -44,3 +44,44 @@ def test_check_bench_gates_runs_clean():
     result = _run([sys.executable, os.path.join("benchmarks", "check_bench_gates.py")])
     assert result.returncode == 0, result.stdout + result.stderr
     assert "OK" in result.stdout or "ok" in result.stdout.lower()
+
+
+def test_distributed_worker_help_runs_clean():
+    result = _run([sys.executable, "-m", "repro.distributed", "--help"])
+    assert result.returncode == 0, result.stderr
+    for flag in ("--experiments", "--specs", "--store", "--ttl", "--shard-index"):
+        assert flag in result.stdout
+
+
+def test_experiments_work_requires_a_suite():
+    result = _run([sys.executable, "-m", "repro.experiments", "work"])
+    assert result.returncode != 0
+    assert "required" in result.stderr and "ID" in result.stderr
+
+
+def test_experiments_merge_runs_clean(tmp_path):
+    import json
+
+    source = tmp_path / "src" / "results" / "selftest"
+    source.mkdir(parents=True)
+    payload = {"format": 1, "spec": {"experiment": "selftest"}, "result": {"v": 1}, "created": 0.0}
+    (source / "aaaa.json").write_text(json.dumps(payload))
+    result = _run(
+        [
+            sys.executable, "-m", "repro.experiments", "merge",
+            str(tmp_path / "src"), "--into", str(tmp_path / "dst"),
+        ]
+    )
+    assert result.returncode == 0, result.stderr
+    assert "copied 1 result(s)" in result.stdout
+    assert os.path.exists(tmp_path / "dst" / "results" / "selftest" / "aaaa.json")
+
+
+def test_experiments_report_advertises_follow():
+    # --follow exits only on suite completion, so the streaming behaviour
+    # itself is covered in-process by tests/distributed; here we only
+    # guard the CLI wiring.
+    result = _run([sys.executable, "-m", "repro.experiments", "report", "--help"])
+    assert result.returncode == 0, result.stderr
+    assert "--follow" in result.stdout
+    assert "--interval" in result.stdout
